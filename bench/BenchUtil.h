@@ -1,0 +1,59 @@
+//===- bench/BenchUtil.h - Shared experiment-table helpers ------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+// Each bench binary regenerates one experiment of EXPERIMENTS.md: it
+// first prints the experiment's qualitative table (the paper's evaluation
+// is qualitative: rule patterns, who aborts, what is preserved), then
+// runs google-benchmark microbenchmarks for the quantitative costs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_BENCH_BENCHUTIL_H
+#define PUSHPULL_BENCH_BENCHUTIL_H
+
+#include "check/Serializability.h"
+#include "sim/Scheduler.h"
+#include "sim/Stats.h"
+#include "tm/Engine.h"
+
+#include <cstdio>
+#include <string>
+
+namespace pushpull {
+namespace benchutil {
+
+inline void banner(const char *Id, const char *Title) {
+  std::printf("\n================================================================"
+              "===============\n");
+  std::printf("%s: %s\n", Id, Title);
+  std::printf("=================================================================="
+              "=============\n");
+}
+
+inline void section(const char *Text) { std::printf("\n-- %s --\n", Text); }
+
+/// Run \p E to quiescence and certify serializability; prints a warning
+/// line if either fails (benches report rather than abort).
+inline RunStats runCertified(TMEngine &E, const SequentialSpec &Spec,
+                             uint64_t Seed, uint64_t MaxSteps = 500000) {
+  Scheduler Sched({SchedulePolicy::RandomUniform, Seed, MaxSteps});
+  RunStats St = Sched.run(E);
+  if (!St.Quiescent)
+    std::printf("!! run did not reach quiescence within %llu steps\n",
+                static_cast<unsigned long long>(MaxSteps));
+  SerializabilityChecker Oracle(Spec);
+  SerializabilityVerdict V = Oracle.checkCommitOrder(E.machine());
+  if (V.Serializable != Tri::Yes)
+    std::printf("!! serializability oracle: %s (%s)\n",
+                toString(V.Serializable).c_str(), V.Detail.c_str());
+  return St;
+}
+
+inline const char *yesNo(bool B) { return B ? "yes" : "no"; }
+
+} // namespace benchutil
+} // namespace pushpull
+
+#endif // PUSHPULL_BENCH_BENCHUTIL_H

@@ -1,0 +1,140 @@
+//===- bench/bench_explorer.cpp - E9: Theorem 5.17, exhaustively ---------------===//
+//
+// Experiment E9: the executable content of the serializability theorem.
+// The explorer enumerates EVERY interleaving of rule applications for
+// small programs — including the backward rules and the non-opaque
+// uncommitted pulls — and the independent oracle certifies every
+// quiescent configuration serializable.  The table reports state-space
+// sizes and the (required-zero) violation counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "lang/Parser.h"
+#include "sim/Explorer.h"
+#include "spec/CounterSpec.h"
+#include "spec/QueueSpec.h"
+#include "spec/RegisterSpec.h"
+#include "spec/SetSpec.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pushpull;
+using namespace pushpull::benchutil;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  std::function<ExplorerReport()> Run;
+};
+
+void qualitative() {
+  banner("E9 (Theorem 5.17)", "exhaustive interleaving exploration");
+
+  std::printf("%34s %10s %10s %10s %8s %8s\n", "scenario", "configs",
+              "terminals", "rejected", "non-ser", "inv-viol");
+
+  auto Row = [](const char *Name, const ExplorerReport &R) {
+    std::printf("%34s %10llu %10llu %10llu %8llu %8llu%s\n", Name,
+                (unsigned long long)R.ConfigsVisited,
+                (unsigned long long)R.TerminalConfigs,
+                (unsigned long long)R.RejectedAttempts,
+                (unsigned long long)R.NonSerializable,
+                (unsigned long long)R.InvariantViolations,
+                R.Truncated ? " (truncated)" : "");
+    if (!R.clean())
+      std::printf("!! FIRST FAILURE: %s\n", R.FirstFailure.c_str());
+  };
+
+  {
+    RegisterSpec Spec("mem", 1, 2);
+    MoverChecker Movers(Spec);
+    Explorer E(Spec, Movers);
+    Row("reg: r/w vs w", E.explore({{parseOrDie(
+                             "tx { v := mem.read(0); mem.write(0, 1) }")},
+                                    {parseOrDie("tx { mem.write(0, 0) }")}}));
+  }
+  {
+    RegisterSpec Spec("mem", 1, 2);
+    MoverChecker Movers(Spec);
+    ExplorerConfig EC;
+    EC.ExploreBackwardRules = true;
+    EC.MaxConfigs = 400000;
+    Explorer E(Spec, Movers, EC);
+    Row("reg: w vs r + backward rules",
+        E.explore({{parseOrDie("tx { mem.write(0, 1) }")},
+                   {parseOrDie("tx { v := mem.read(0) }")}}));
+  }
+  {
+    SetSpec Spec("set", 2);
+    MoverChecker Movers(Spec);
+    ExplorerConfig EC;
+    EC.CheckInvariants = true;
+    Explorer E(Spec, Movers, EC);
+    Row("set: adds + invariant checks",
+        E.explore({{parseOrDie("tx { a := set.add(0) }")},
+                   {parseOrDie("tx { b := set.add(0); c := set.remove(1) }")}}));
+  }
+  {
+    CounterSpec Spec("c", 1, 3);
+    MoverChecker Movers(Spec);
+    Explorer E(Spec, Movers);
+    Row("counter: incs (non-opaque pulls)",
+        E.explore({{parseOrDie("tx { c.inc(0) }")},
+                   {parseOrDie("tx { c.inc(0) }")},
+                   {parseOrDie("tx { v := c.read(0) }")}}));
+  }
+  {
+    QueueSpec Spec("q", 2, 2);
+    MoverChecker Movers(Spec);
+    Explorer E(Spec, Movers);
+    Row("queue: enq vs enq vs deq",
+        E.explore({{parseOrDie("tx { a := q.enq(0) }")},
+                   {parseOrDie("tx { b := q.enq(1) }")},
+                   {parseOrDie("tx { c := q.deq() }")}}));
+  }
+  {
+    RegisterSpec Spec("mem", 2, 2);
+    MoverChecker Movers(Spec);
+    ExplorerConfig EC;
+    EC.MaxConfigs = 600000;
+    Explorer E(Spec, Movers, EC);
+    Row("reg: 3-thread nondet branches",
+        E.explore(
+            {{parseOrDie("tx { mem.write(0, 1) + mem.write(1, 1) }")},
+             {parseOrDie("tx { v := mem.read(0) }")},
+             {parseOrDie("tx { w := mem.read(1) }")}}));
+  }
+
+  std::printf("\nshape: the non-ser and inv-viol columns are identically 0 —\n"
+              "every explored schedule of every scenario is serializable,\n"
+              "Theorem 5.17's executable content.\n");
+}
+
+void BM_ExploreTwoThreads(benchmark::State &State) {
+  RegisterSpec Spec("mem", 1, 2);
+  MoverChecker Movers(Spec);
+  uint64_t Configs = 0;
+  for (auto _ : State) {
+    Explorer E(Spec, Movers);
+    ExplorerReport R =
+        E.explore({{parseOrDie("tx { v := mem.read(0); mem.write(0, 1) }")},
+                   {parseOrDie("tx { mem.write(0, 0) }")}});
+    Configs += R.ConfigsVisited;
+  }
+  State.counters["configs"] = benchmark::Counter(
+      static_cast<double>(Configs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreTwoThreads);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  qualitative();
+  std::printf("\n-- microbenchmarks --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+//===- bench/bench_fig7_hybrid.cpp - E2: Figure 7 / Section 7 -----------------===//
+//
+// Experiment E2: the boosting/HTM interaction.  Replays the exact Figure 7
+// rule sequence with every criterion validated and prints the resulting
+// trace; sweeps the injected HTM-conflict probability and reports how many
+// boosted operations survived each retraction (the replay work Section 7
+// says the model lets an implementation save); microbenchmarks the
+// retraction path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "lang/Parser.h"
+#include "spec/CompositeSpec.h"
+#include "spec/CounterSpec.h"
+#include "spec/MapSpec.h"
+#include "spec/SetSpec.h"
+#include "tm/HybridHtmBoostingTM.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace pushpull;
+using namespace pushpull::benchutil;
+
+namespace {
+
+std::shared_ptr<CompositeSpec> fig7Spec() {
+  auto S = std::make_shared<CompositeSpec>();
+  S->add("skiplist", std::make_shared<SetSpec>("skiplist", 4));
+  S->add("hashT", std::make_shared<MapSpec>("hashT", 4, 4));
+  S->add("size", std::make_shared<CounterSpec>("size", 1, 16));
+  S->add("x", std::make_shared<CounterSpec>("x", 1, 16));
+  S->add("y", std::make_shared<CounterSpec>("y", 1, 16));
+  return S;
+}
+
+CodePtr fig7Tx() {
+  return parseOrDie("tx { s := skiplist.add(1); size.inc(0); "
+                    "h := hashT.put(1, 2); (x.inc(0) + y.inc(0)) }");
+}
+
+/// The exact Figure 7 sequence; returns false if any rule is rejected.
+bool replayFigure7(PushPullMachine &M) {
+  TxId T = M.addThread({fig7Tx()});
+  bool Ok = M.beginTx(T);
+  Ok = Ok && M.app(T, 0, 0).Applied;        // APP(skiplist.insert(foo))
+  Ok = Ok && M.push(T, 0).Applied;          // PUSH(skiplist.insert(foo))
+  Ok = Ok && M.app(T, 0, 0).Applied;        // APP(size++)
+  Ok = Ok && M.app(T, 0, 0).Applied;        // APP(hashT.map(foo=>bar))
+  Ok = Ok && M.push(T, 2).Applied;          // PUSH(hashT.map(foo=>bar))
+  Ok = Ok && M.app(T, 0, 0).Applied;        // APP(x++)  (left branch)
+  Ok = Ok && M.push(T, 1).Applied;          // Push HTM ops: PUSH(size++)
+  Ok = Ok && M.push(T, 3).Applied;          //               PUSH(x++)
+  Ok = Ok && M.unpush(T, 3).Applied;        // HTM abort: UNPUSH(x++)
+  Ok = Ok && M.unpush(T, 1).Applied;        //            UNPUSH(size++)
+  Ok = Ok && M.unapp(T).Applied;            // Rewind some code: UNAPP(x++)
+  Ok = Ok && M.app(T, 1, 0).Applied;        // March forward: APP(y++)
+  Ok = Ok && M.push(T, 1).Applied;          // Commit: PUSH(size++)
+  Ok = Ok && M.push(T, 3).Applied;          //         PUSH(y++)
+  Ok = Ok && M.commit(T).Applied;           //         CMT
+  return Ok;
+}
+
+void qualitative() {
+  banner("E2 (Figure 7 / Section 7)", "boosting/HTM interaction");
+
+  section("the exact Figure 7 rule sequence, criteria-validated");
+  {
+    auto Spec = fig7Spec();
+    MoverChecker Movers(*Spec);
+    PushPullMachine M(*Spec, Movers);
+    bool Ok = replayFigure7(M);
+    std::printf("all 15 rule applications accepted: %s\n", yesNo(Ok));
+    std::printf("%s", M.trace().toString().c_str());
+    SerializabilityChecker Oracle(*Spec);
+    std::printf("serializable: %s\n",
+                toString(Oracle.checkCommitOrder(M).Serializable).c_str());
+  }
+
+  section("injected-conflict sweep (2 hybrid threads)");
+  std::printf("%12s %8s %12s %18s %8s\n", "conflict%", "commits",
+              "retractions", "boosted-preserved", "unpush");
+  for (unsigned Pct : {0u, 25u, 50u, 100u}) {
+    auto Spec = fig7Spec();
+    MoverChecker Movers(*Spec);
+    PushPullMachine M(*Spec, Movers);
+    M.addThread({fig7Tx()});
+    M.addThread({parseOrDie("tx { s := skiplist.add(2); size.inc(0); "
+                            "h := hashT.put(2, 3); (x.inc(0) + y.inc(0)) }")});
+    HybridConfig HC;
+    HC.HtmObjects = {"size", "x", "y"};
+    HC.ConflictChancePct = Pct;
+    HC.Seed = 5 + Pct;
+    HybridHtmBoostingTM E(M, HC);
+    RunStats St = runCertified(E, *Spec, 5 + Pct);
+    std::printf("%12u %8llu %12llu %18llu %8llu\n", Pct,
+                (unsigned long long)St.Commits,
+                (unsigned long long)E.htmRetractions(),
+                (unsigned long long)E.boostedOpsPreserved(),
+                (unsigned long long)St.ruleCount(RuleKind::UnPush));
+  }
+  std::printf("shape: retractions grow with conflict%%; boosted ops stay in "
+              "the shared log\n(preserved > 0 whenever a retraction "
+              "happened); commits always complete.\n");
+}
+
+void BM_Figure7Replay(benchmark::State &State) {
+  auto Spec = fig7Spec();
+  MoverChecker Movers(*Spec);
+  for (auto _ : State) {
+    PushPullMachine M(*Spec, Movers);
+    bool Ok = replayFigure7(M);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_Figure7Replay);
+
+void BM_HtmRetraction(benchmark::State &State) {
+  auto Spec = fig7Spec();
+  MoverChecker Movers(*Spec);
+  for (auto _ : State) {
+    State.PauseTiming();
+    PushPullMachine M(*Spec, Movers);
+    TxId T = M.addThread({fig7Tx()});
+    M.beginTx(T);
+    M.app(T, 0, 0);
+    M.push(T, 0);
+    M.app(T, 0, 0);
+    M.app(T, 0, 0);
+    M.push(T, 2);
+    M.app(T, 0, 0);
+    M.push(T, 1);
+    M.push(T, 3);
+    State.ResumeTiming();
+    // The retraction path itself.
+    M.unpush(T, 3);
+    M.unpush(T, 1);
+    M.unapp(T);
+  }
+}
+BENCHMARK(BM_HtmRetraction);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  qualitative();
+  std::printf("\n-- microbenchmarks --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

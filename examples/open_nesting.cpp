@@ -1,0 +1,65 @@
+//===- examples/open_nesting.cpp - Open nesting walk-through ------------------===//
+//
+// Open nested transactions (Ni et al., cited throughout the paper): an
+// outer transaction's inner segments commit at the abstract level as
+// soon as they finish — their effects are immediately visible to other
+// threads — and an outer abort runs *compensating transactions* (remove
+// what was added, restore what was overwritten) instead of UNPUSHing the
+// committed segments.
+//
+//   ./open_nesting
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Serializability.h"
+#include "lang/Parser.h"
+#include "sim/Scheduler.h"
+#include "spec/MapSpec.h"
+#include "tm/OpenNestingTM.h"
+
+#include <cstdio>
+
+using namespace pushpull;
+
+int main() {
+  MapSpec Spec("m", 8, 8);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+
+  // Two outer transactions, each of two open segments; thread 0's outer
+  // is forced to abort once between its segments.
+  std::vector<std::vector<OuterTx>> Outer = {
+      {OuterTx{{parseOrDie("tx { a := m.put(0, 1) }"),
+                parseOrDie("tx { b := m.put(1, 1) }")}}},
+      {OuterTx{{parseOrDie("tx { c := m.put(2, 2) }"),
+                parseOrDie("tx { d := m.put(3, 2) }")}}},
+  };
+  OpenNestingConfig OC;
+  OC.OuterAbortPct = 100;
+  OC.MaxAbortsPerOuter = 1;
+  OC.Inverse = mapInverses();
+  OpenNestingTM Engine(M, std::move(Outer), OC);
+
+  Scheduler Sched({SchedulePolicy::RoundRobin, 1, 50000});
+  RunStats St = Sched.run(Engine);
+
+  std::printf("open nesting: %s\n", St.toString().c_str());
+  std::printf("  outer commits: %llu, outer aborts: %llu, compensations "
+              "run: %llu\n",
+              static_cast<unsigned long long>(Engine.outerCommits()),
+              static_cast<unsigned long long>(Engine.outerAborts()),
+              static_cast<unsigned long long>(Engine.compensationsRun()));
+  std::printf("  UNPUSH count (must be 0 — committed segments are "
+              "compensated, not retracted): %llu\n",
+              static_cast<unsigned long long>(
+                  St.ruleCount(RuleKind::UnPush)));
+  std::printf("\nRule trace:\n%s", M.trace().toString().c_str());
+
+  if (!St.Quiescent)
+    return 1;
+  SerializabilityChecker Oracle(Spec);
+  SerializabilityVerdict V = Oracle.checkCommitOrder(M);
+  std::printf("serializable (commit order): %s\n",
+              toString(V.Serializable).c_str());
+  return V.Serializable == Tri::Yes ? 0 : 1;
+}

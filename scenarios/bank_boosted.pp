@@ -1,0 +1,13 @@
+# Boosted bank accounts: deposits commute, withdrawals commute while
+# funds last, balance reads conflict — the conditional-commutativity
+# structure the abstract-lock discipline exploits.  keylocks=0 selects
+# whole-object locking: transfer touches *two* accounts, so per-account
+# (first-argument) locks would be unsound for it.
+spec bank name=bank accounts=4 cap=8 initial=4
+engine boosting seed=21 keylocks=0
+schedule random seed=13 maxsteps=200000
+thread tx { bank.deposit(0, 1); r := bank.withdraw(1, 2) }; tx { b := bank.balance(0) }
+thread tx { bank.deposit(1, 2) }; tx { s := bank.withdraw(0, 1) }
+thread tx { t := bank.transfer(2, 3, 2) }
+check serializability
+check invariants

@@ -1,0 +1,10 @@
+# Section 6.5: dependent transactions.  The reader pulls the writer's
+# uncommitted effects (leaving the opaque fragment) and is gated until the
+# writer commits.
+spec register name=mem regs=2 vals=2
+engine dependent seed=3
+schedule roundrobin seed=2 maxsteps=100000
+thread tx { mem.write(0, 1); mem.write(1, 1) }
+thread tx { v := mem.read(0); w := mem.read(1) }
+check serializability-any
+check opacity

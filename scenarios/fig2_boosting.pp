@@ -1,0 +1,11 @@
+# Figure 2 of the paper: a transactionally boosted hashtable.
+# Run with:  pprun --trace scenarios/fig2_boosting.pp
+spec map name=map keys=8 vals=4
+engine boosting seed=42
+schedule random seed=7 maxsteps=100000
+thread tx { a := map.put(1, 2) }; tx { b := map.get(1) }
+thread tx { c := map.put(1, 3) }
+thread tx { d := map.put(3, 1); e := map.get(1) }
+check serializability
+check opacity
+check invariants

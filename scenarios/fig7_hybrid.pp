@@ -1,0 +1,17 @@
+# Section 7 / Figure 7: boosted skiplist + hashtable mixed with
+# HTM-controlled counters inside one transaction.  conflictpct=100 forces
+# one HTM abort per transaction, so the trace shows the Figure 7 sequence:
+# UNPUSH of the HTM batch (boosted effects stay), UNAPP past the
+# conflicting access, a march forward down the other branch, republish,
+# commit.
+spec set name=skiplist keys=4
+spec map name=hashT keys=4 vals=4
+spec counter name=size counters=1 mod=16
+spec counter name=x counters=1 mod=16
+spec counter name=y counters=1 mod=16
+engine hybrid htm=size,x,y conflictpct=100 seed=1
+schedule roundrobin seed=1 maxsteps=100000
+thread tx { s := skiplist.add(1); size.inc(0); h := hashT.put(1, 2); (x.inc(0) + y.inc(0)) }
+thread tx { s := skiplist.add(2); size.inc(0); h := hashT.put(2, 3); (x.inc(0) + y.inc(0)) }
+check serializability
+check invariants

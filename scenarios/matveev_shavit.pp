@@ -1,0 +1,11 @@
+# Section 6.3: fully pessimistic TM (Matveev-Shavit).  Writers buffer to
+# an uninterleaved commit point; readers publish eagerly; nobody aborts —
+# check the run statistics: the aborts column stays 0.
+spec register name=mem regs=2 vals=2
+engine pessimistic seed=5
+schedule random seed=11 maxsteps=200000
+thread tx { v := mem.read(0); w := mem.read(0) }
+thread tx { mem.write(0, 1); mem.write(1, 1) }
+thread tx { u := mem.read(1); mem.write(0, 0) }
+check serializability
+check invariants

@@ -1,0 +1,56 @@
+//===- check/Opacity.h - Section 6.1: opacity as a fragment -----*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opacity (Guerraoui & Kapalka) characterized as fragments of PUSH/PULL
+/// (Section 6.1):
+///
+///  * the *opaque fragment*: runs whose transactions never PULL an
+///    operation that was uncommitted at pull time — classic opaque STMs
+///    (TL2, TinySTM) live here by construction;
+///
+///  * the *commutation relaxation*: a transaction T may PULL an
+///    uncommitted operation m' of T' provided T will never execute a
+///    method that does not commute with m' — checked against the set of
+///    reachable methods of T's remaining code (step()-closure).
+///
+/// classifyTrace decides fragment membership post hoc from the rule trace;
+/// pullCommutationSafe is the online check an engine (or test) consults
+/// before performing a relaxed pull.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CHECK_OPACITY_H
+#define PUSHPULL_CHECK_OPACITY_H
+
+#include "core/Machine.h"
+#include "core/Trace.h"
+
+namespace pushpull {
+
+/// Post-hoc classification of a run's rule trace.
+struct OpacityReport {
+  /// True iff no PULL in the trace took an uncommitted operation.
+  bool InOpaqueFragment = true;
+  size_t TotalPulls = 0;
+  size_t UncommittedPulls = 0;
+};
+
+/// Classify \p T against the Section 6.1 opaque fragment.
+OpacityReport classifyTrace(const RuleTrace &T);
+
+/// The Section 6.1 relaxation, online: may thread \p T pull \p Op —
+/// uncommitted or not — while remaining observationally opaque?  Checks
+/// that every method reachable in T's remaining code commutes (in both
+/// orders) with Op.  Calls whose arguments cannot yet be resolved, or that
+/// have no matching probe operations, yield Unknown (conservative).
+Tri pullCommutationSafe(const PushPullMachine &M, TxId T,
+                        const Operation &Op);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CHECK_OPACITY_H

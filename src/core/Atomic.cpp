@@ -1,0 +1,123 @@
+//===- core/Atomic.cpp - The atomic reference semantics --------------------===//
+
+#include "core/Atomic.h"
+
+#include "lang/StepFin.h"
+
+using namespace pushpull;
+
+AtomicMachine::AtomicMachine(const SequentialSpec &Spec, AtomicLimits Limits)
+    : Spec(Spec), Limits(Limits) {}
+
+std::vector<AtomicOutcome>
+AtomicMachine::bigStep(const CodePtr &C, const Stack &Sigma,
+                       const std::vector<Operation> &Log) {
+  std::vector<AtomicOutcome> Out;
+  std::vector<Operation> Work = Log;
+  OutcomesEmitted = 0;
+  bigStepInner(C, Sigma, Spec.denote(Log), Work, 0,
+               [&Out](const AtomicOutcome &O) {
+                 Out.push_back(O);
+                 return false; // Keep enumerating.
+               });
+  return Out;
+}
+
+bool AtomicMachine::canRun(const CodePtr &C, const Stack &Sigma,
+                           const std::vector<Operation> &Log) {
+  std::vector<Operation> Work = Log;
+  OutcomesEmitted = 0;
+  return bigStepInner(C, Sigma, Spec.denote(Log), Work, 0,
+                      [](const AtomicOutcome &) { return true; });
+}
+
+bool AtomicMachine::bigStepInner(
+    const CodePtr &C, const Stack &Sigma, StateSet S,
+    std::vector<Operation> &Log, size_t OpsUsed,
+    const std::function<bool(const AtomicOutcome &)> &Emit) {
+  if (OutcomesEmitted >= Limits.MaxOutcomes)
+    return false;
+
+  // BSFIN: there is a reduction of c to skip with no method call.
+  if (fin(C)) {
+    ++OutcomesEmitted;
+    AtomicOutcome O;
+    O.Sigma = Sigma;
+    O.Log = Log;
+    if (Emit(O))
+      return true;
+  }
+
+  if (OpsUsed >= Limits.MaxOpsPerTx)
+    return false;
+
+  // BSSTEP: pick a next reachable method, an allowed completion, recurse.
+  for (const StepItem &It : step(C)) {
+    auto Call = It.Call.resolve(Sigma);
+    if (!Call)
+      continue; // Unbound argument variable: this path is stuck.
+    for (const Completion &Comp : Spec.completionsFrom(S, *Call)) {
+      Operation Op;
+      Op.Call = *Call;
+      Op.Pre = Sigma;
+      Op.Result = Comp.Result;
+      Stack Post = Sigma;
+      if (It.Call.ResultVar && Comp.Result)
+        Post.set(*It.Call.ResultVar, *Comp.Result);
+      Op.Post = Post;
+      Op.Id = Ids.fresh();
+
+      StateSet N = Spec.applyOp(S, Op);
+      if (N.empty())
+        continue; // Completion allowed in no state (shouldn't happen).
+      Log.push_back(Op);
+      bool Found = bigStepInner(It.Rest, Post, std::move(N), Log,
+                                OpsUsed + 1, Emit);
+      Log.pop_back();
+      if (Found)
+        return true;
+      if (OutcomesEmitted >= Limits.MaxOutcomes)
+        return false;
+    }
+  }
+  return false;
+}
+
+bool AtomicMachine::searchSerial(
+    const std::vector<AtomicTx> &Txs, const std::vector<Operation> &Log,
+    const std::function<bool(const AtomicOutcome &)> &Consume) {
+  std::vector<Operation> Work = Log;
+  OutcomesEmitted = 0;
+  return searchSerialInner(Txs, 0, Stack(), Spec.denote(Log), Work, Consume);
+}
+
+bool AtomicMachine::searchSerialInner(
+    const std::vector<AtomicTx> &Txs, size_t Next, const Stack &,
+    StateSet S, std::vector<Operation> &Log,
+    const std::function<bool(const AtomicOutcome &)> &Consume) {
+  if (Next == Txs.size()) {
+    AtomicOutcome O;
+    O.Log = Log;
+    return Consume(O);
+  }
+  // AM_RUNTX for transaction Next, then the rest of the serial order.
+  // Each transaction starts from its own recorded stack (threads do not
+  // share stacks), so the per-call sigma is Txs[Next].Sigma.
+  size_t Mark = Log.size();
+  bool Found = bigStepInner(
+      Txs[Next].Body, Txs[Next].Sigma, std::move(S), Log, 0,
+      [&](const AtomicOutcome &Mid) {
+        // The simulation demands the atomic run of this transaction end
+        // with the same local stack the concurrent run ended with.
+        if (Txs[Next].ExpectFinal && Mid.Sigma != *Txs[Next].ExpectFinal)
+          return false;
+        // Continue the serial run after this transaction's outcome.  The
+        // recursive call works on a fresh copy of the accumulated log so
+        // the enumeration in progress is not disturbed.
+        std::vector<Operation> Rest = Mid.Log;
+        return searchSerialInner(Txs, Next + 1, Mid.Sigma,
+                                 Spec.denote(Rest), Rest, Consume);
+      });
+  Log.resize(Mark);
+  return Found;
+}

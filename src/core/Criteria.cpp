@@ -1,0 +1,76 @@
+//===- core/Criteria.cpp - Rule criteria reporting --------------------------===//
+
+#include "core/Criteria.h"
+
+using namespace pushpull;
+
+std::string pushpull::toString(RuleKind K) {
+  switch (K) {
+  case RuleKind::App:
+    return "APP";
+  case RuleKind::UnApp:
+    return "UNAPP";
+  case RuleKind::Push:
+    return "PUSH";
+  case RuleKind::UnPush:
+    return "UNPUSH";
+  case RuleKind::Pull:
+    return "PULL";
+  case RuleKind::UnPull:
+    return "UNPULL";
+  case RuleKind::Commit:
+    return "CMT";
+  }
+  return "?";
+}
+
+const CriterionReport *RuleResult::firstFailure() const {
+  for (const CriterionReport &R : Criteria)
+    if (!R.holds())
+      return &R;
+  return nullptr;
+}
+
+std::string RuleResult::toString() const {
+  std::string Out = pushpull::toString(Rule);
+  Out += Applied ? ": applied" : ": rejected";
+  if (!Message.empty())
+    Out += " (" + Message + ")";
+  for (const CriterionReport &R : Criteria) {
+    Out += "\n  " + R.Name + ": " + pushpull::toString(R.Verdict);
+    if (!R.Detail.empty())
+      Out += " -- " + R.Detail;
+  }
+  return Out;
+}
+
+RuleResult RuleResult::applied(RuleKind K, std::vector<CriterionReport> Rs) {
+  RuleResult Out;
+  Out.Rule = K;
+  Out.Applied = true;
+  Out.Criteria = std::move(Rs);
+  return Out;
+}
+
+RuleResult RuleResult::rejected(RuleKind K, std::vector<CriterionReport> Rs,
+                                std::string Msg) {
+  RuleResult Out;
+  Out.Rule = K;
+  Out.Applied = false;
+  Out.Criteria = std::move(Rs);
+  Out.Message = std::move(Msg);
+  return Out;
+}
+
+RuleResult RuleResult::malformed(RuleKind K, std::string Msg) {
+  return rejected(K, {}, std::move(Msg));
+}
+
+CriterionReport pushpull::criterion(std::string Name, Tri Verdict,
+                                    std::string Detail) {
+  CriterionReport R;
+  R.Name = std::move(Name);
+  R.Verdict = Verdict;
+  R.Detail = std::move(Detail);
+  return R;
+}

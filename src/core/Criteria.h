@@ -1,0 +1,80 @@
+//===- core/Criteria.h - Rule criteria reporting ----------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every PUSH/PULL rule comes with named correctness criteria ("PUSH
+/// criterion (ii)", etc.).  The machine evaluates each criterion
+/// individually and reports a per-criterion verdict, so that a TM algorithm
+/// implementor can see exactly which side-condition their step would
+/// violate — the workflow the paper proposes: demarcate the algorithm into
+/// rule fragments, then discharge each criterion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_CRITERIA_H
+#define PUSHPULL_CORE_CRITERIA_H
+
+#include "support/Tri.h"
+
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// The seven reductions of Figure 5.
+enum class RuleKind {
+  App,    ///< APP: apply a next method locally.
+  UnApp,  ///< UNAPP: rewind the most recent unpushed application.
+  Push,   ///< PUSH: share a local effect with the global log.
+  UnPush, ///< UNPUSH: recall an effect from the global log.
+  Pull,   ///< PULL: view another transaction's published effect.
+  UnPull, ///< UNPULL: discard knowledge of a pulled effect.
+  Commit, ///< CMT: make all pushed effects permanent.
+};
+
+std::string toString(RuleKind K);
+
+/// Verdict for one named criterion of one rule application.
+struct CriterionReport {
+  /// Paper-style name, e.g. "PUSH criterion (ii)".
+  std::string Name;
+  Tri Verdict = Tri::Unknown;
+  /// Human-readable explanation (which operation failed to move, etc.).
+  std::string Detail;
+
+  bool holds() const { return Verdict == Tri::Yes; }
+};
+
+/// Result of attempting one rule.  When \c Applied is false the machine
+/// state was left unchanged; the reports say why.
+struct RuleResult {
+  RuleKind Rule = RuleKind::App;
+  bool Applied = false;
+  std::vector<CriterionReport> Criteria;
+  /// Message for failures not attributable to a numbered criterion
+  /// (e.g. "no such local-log entry").
+  std::string Message;
+
+  /// First criterion whose verdict is not Yes, or nullptr.
+  const CriterionReport *firstFailure() const;
+
+  /// Render for diagnostics.
+  std::string toString() const;
+
+  static RuleResult applied(RuleKind K, std::vector<CriterionReport> Rs = {});
+  static RuleResult rejected(RuleKind K, std::vector<CriterionReport> Rs,
+                             std::string Msg = "");
+  static RuleResult malformed(RuleKind K, std::string Msg);
+};
+
+/// Build a passing/failing report with the paper-style criterion name.
+CriterionReport criterion(std::string Name, Tri Verdict,
+                          std::string Detail = "");
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_CRITERIA_H

@@ -1,0 +1,196 @@
+//===- core/Invariants.cpp - Section 5.3 machine invariants ----------------===//
+
+#include "core/Invariants.h"
+
+using namespace pushpull;
+
+InvariantReport InvariantReport::fail(std::string Which, std::string Detail) {
+  InvariantReport R;
+  R.Holds = false;
+  R.Which = std::move(Which);
+  R.Detail = std::move(Detail);
+  return R;
+}
+
+InvariantReport pushpull::checkILG(const ThreadState &Th,
+                                   const GlobalLog &G) {
+  for (const LocalEntry &E : Th.L.entries()) {
+    bool InG = G.contains(E.Op.Id);
+    if (E.Kind == LocalKind::Pushed && !InG)
+      return InvariantReport::fail(
+          "I_LG", "pshd op " + E.Op.toString() + " missing from G");
+    if (E.Kind == LocalKind::NotPushed && InG)
+      return InvariantReport::fail(
+          "I_LG", "npshd op " + E.Op.toString() + " present in G");
+  }
+  return InvariantReport::ok();
+}
+
+InvariantReport pushpull::checkISlideR(const ThreadState &Th,
+                                       const GlobalLog &G,
+                                       MoverChecker &Movers) {
+  // For every own pushed op1 that is still uncommitted at position i of G,
+  // and every later entry op2 of another transaction: op1 <| op2.
+  for (size_t I = 0; I < G.size(); ++I) {
+    const GlobalEntry &E1 = G[I];
+    if (E1.Kind != GlobalKind::Uncommitted)
+      continue;
+    size_t LI = Th.L.indexOf(E1.Op.Id);
+    if (LI == LocalLog::npos || Th.L[LI].Kind != LocalKind::Pushed)
+      continue;
+    for (size_t J = I + 1; J < G.size(); ++J) {
+      const GlobalEntry &E2 = G[J];
+      // I_slideR quantifies op2 with no pshd/npshd entry in L — i.e. ops
+      // of *other* transactions.  A pld entry does not exempt: something
+      // we pulled still has to be movable.
+      size_t L2 = Th.L.indexOf(E2.Op.Id);
+      if (L2 != LocalLog::npos && Th.L[L2].Kind != LocalKind::Pulled)
+        continue;
+      if (Movers.leftMover(E1.Op, E2.Op) != Tri::Yes)
+        return InvariantReport::fail(
+            "I_slideR", E1.Op.toString() + " cannot move right of " +
+                            E2.Op.toString());
+    }
+  }
+  return InvariantReport::ok();
+}
+
+InvariantReport pushpull::checkIReorderPush(const ThreadState &Th,
+                                            const GlobalLog &G,
+                                            MoverChecker &Movers) {
+  // Own ops op1 (earlier in L) and op2 (later in L), both pushed and
+  // uncommitted, that sit inverted in G (op2 before op1) must satisfy
+  // op2 <| op1.
+  for (size_t GI = 0; GI < G.size(); ++GI) {
+    const GlobalEntry &Ga = G[GI];
+    if (Ga.Kind != GlobalKind::Uncommitted)
+      continue;
+    size_t La = Th.L.indexOf(Ga.Op.Id);
+    if (La == LocalLog::npos || Th.L[La].Kind == LocalKind::Pulled)
+      continue;
+    for (size_t GJ = GI + 1; GJ < G.size(); ++GJ) {
+      const GlobalEntry &Gb = G[GJ];
+      if (Gb.Kind != GlobalKind::Uncommitted)
+        continue;
+      size_t Lb = Th.L.indexOf(Gb.Op.Id);
+      if (Lb == LocalLog::npos || Th.L[Lb].Kind == LocalKind::Pulled)
+        continue;
+      // G order: Ga before Gb.  Inverted iff local order is Lb before La.
+      if (Lb < La && Movers.leftMover(Ga.Op, Gb.Op) != Tri::Yes)
+        return InvariantReport::fail(
+            "I_reorderPUSH", Ga.Op.toString() +
+                                 " pushed before local predecessor " +
+                                 Gb.Op.toString() + " but cannot move");
+    }
+  }
+  return InvariantReport::ok();
+}
+
+InvariantReport pushpull::checkILocalOrder(const ThreadState &Th,
+                                           MoverChecker &Movers) {
+  // L = L1 . [op2, npshd] . L2 . [op1, pshd] . L3  =>  op1 <| op2.
+  const auto &Es = Th.L.entries();
+  for (size_t I = 0; I < Es.size(); ++I) {
+    if (Es[I].Kind != LocalKind::NotPushed)
+      continue;
+    for (size_t J = I + 1; J < Es.size(); ++J) {
+      if (Es[J].Kind != LocalKind::Pushed)
+        continue;
+      if (Movers.leftMover(Es[J].Op, Es[I].Op) != Tri::Yes)
+        return InvariantReport::fail(
+            "I_localOrder", Es[J].Op.toString() +
+                                " (pshd) cannot move left of earlier " +
+                                Es[I].Op.toString() + " (npshd)");
+    }
+  }
+  return InvariantReport::ok();
+}
+
+InvariantReport pushpull::checkAllInvariants(const ThreadState &Th,
+                                             const GlobalLog &G,
+                                             MoverChecker &Movers) {
+  InvariantReport R = checkILG(Th, G);
+  if (!R.Holds)
+    return R;
+  R = checkISlideR(Th, G, Movers);
+  if (!R.Holds)
+    return R;
+  R = checkIReorderPush(Th, G, Movers);
+  if (!R.Holds)
+    return R;
+  return checkILocalOrder(Th, Movers);
+}
+
+/// Own pushed ops in local-log order.
+static std::vector<Operation> ownPushedLocalOrder(const ThreadState &Th) {
+  return Th.L.project(LocalKind::Pushed);
+}
+
+/// G \ |L|_pshd and G n |L|_pshd in G order (the paper notes both preserve
+/// the order of their first argument).
+static void splitG(const ThreadState &Th, const GlobalLog &G,
+                   std::vector<Operation> &NotMine,
+                   std::vector<Operation> &Mine) {
+  for (const GlobalEntry &E : G.entries()) {
+    size_t LI = Th.L.indexOf(E.Op.Id);
+    bool MinePushed =
+        LI != LocalLog::npos && Th.L[LI].Kind == LocalKind::Pushed;
+    (MinePushed ? Mine : NotMine).push_back(E.Op);
+  }
+}
+
+static std::vector<Operation> concat(std::vector<Operation> A,
+                                     const std::vector<Operation> &B) {
+  A.insert(A.end(), B.begin(), B.end());
+  return A;
+}
+
+InvariantReport pushpull::checkISlidePushed(const ThreadState &Th,
+                                            const GlobalLog &G,
+                                            PrecongruenceChecker &Pre,
+                                            const SequentialSpec &) {
+  std::vector<Operation> NotMine, Mine;
+  splitG(Th, G, NotMine, Mine);
+  Tri V = Pre.checkLogs(G.ops(), concat(NotMine, Mine));
+  if (V != Tri::Yes)
+    return InvariantReport::fail("I_slidePushed",
+                                 "G !=< (G\\|L|p).(G n |L|p): " +
+                                     toString(V));
+  return InvariantReport::ok();
+}
+
+InvariantReport pushpull::checkIChronPush(const ThreadState &Th,
+                                          const GlobalLog &G,
+                                          PrecongruenceChecker &Pre,
+                                          const SequentialSpec &) {
+  std::vector<Operation> NotMine, MineG;
+  splitG(Th, G, NotMine, MineG);
+  std::vector<Operation> MineL = ownPushedLocalOrder(Th);
+  Tri V = Pre.checkLogs(concat(NotMine, MineG), concat(NotMine, MineL));
+  if (V != Tri::Yes)
+    return InvariantReport::fail(
+        "I_chronPush",
+        "(G\\|L|p).(G n |L|p) !=< (G\\|L|p).|L|p: " + toString(V));
+  return InvariantReport::ok();
+}
+
+InvariantReport pushpull::checkILocalReorder(const ThreadState &Th,
+                                             const GlobalLog &G,
+                                             PrecongruenceChecker &Pre,
+                                             const SequentialSpec &) {
+  std::vector<Operation> NotMine, MineG;
+  splitG(Th, G, NotMine, MineG);
+  std::vector<Operation> Pushed = Th.L.project(LocalKind::Pushed);
+  std::vector<Operation> NotPushed = Th.L.project(LocalKind::NotPushed);
+  std::vector<Operation> OwnLocalOrder = Th.L.ownOps();
+
+  std::vector<Operation> Lhs =
+      concat(concat(NotMine, Pushed), NotPushed);
+  std::vector<Operation> Rhs = concat(NotMine, OwnLocalOrder);
+  Tri V = Pre.checkLogs(Lhs, Rhs);
+  if (V != Tri::Yes)
+    return InvariantReport::fail(
+        "I_localReorder",
+        "(G\\|L|p).|L|p.|L|n !=< (G\\|L|p).|L|pn: " + toString(V));
+  return InvariantReport::ok();
+}

@@ -1,0 +1,94 @@
+//===- core/Invariants.h - Section 5.3 machine invariants -------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable forms of the invariants the serializability proof rests on
+/// (Section 5.3).  The paper proves these are preserved by every machine
+/// reduction; here they are *checked* — the machine's Full validation level
+/// re-establishes them after every rule, and the property-test suites
+/// assert them along randomized and exhaustively explored runs, giving an
+/// executable counterpart of Lemmas 5.7–5.13.
+///
+///   I_LG           pshd entries are in G; npshd entries are not (L. 5.7)
+///   I_slideR       own uncommitted pushed ops can move right of later
+///                  other-transaction ops in G (Lemma 5.8)
+///   I_reorderPUSH  own ops pushed out of local order are movable back
+///                  into it (Lemma 5.10)
+///   I_localOrder   a pushed op applied after an unpushed one can move
+///                  left of it (Lemma 5.12)
+///
+/// and the derived precongruence facts (checked by tests; they are
+/// consequences of the above per Lemmas 5.9/5.11/5.13):
+///
+///   I_slidePushed   G  =<  (G \ |L|p) . (G n |L|p)
+///   I_chronPush     (G \ |L|p) . (G n |L|p)  =<  (G \ |L|p) . |L|p
+///   I_localReorder  (G \ |L|p) . |L|p . |L|n  =<  (G \ |L|p) . |L|pn
+///
+/// where |L|p are the own pushed ops in local order, |L|n the unpushed,
+/// and |L|pn both interleaved in local order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_INVARIANTS_H
+#define PUSHPULL_CORE_INVARIANTS_H
+
+#include "core/Machine.h"
+
+#include <string>
+
+namespace pushpull {
+
+/// Outcome of checking one invariant for one thread.
+struct InvariantReport {
+  bool Holds = true;
+  /// Which invariant failed (empty when Holds).
+  std::string Which;
+  std::string Detail;
+
+  static InvariantReport ok() { return {}; }
+  static InvariantReport fail(std::string Which, std::string Detail);
+};
+
+/// I_LG (Lemma 5.7).
+InvariantReport checkILG(const ThreadState &Th, const GlobalLog &G);
+
+/// I_slideR (Lemma 5.8).  Mover obligations that are Unknown are treated
+/// as failures (sound for a checker).
+InvariantReport checkISlideR(const ThreadState &Th, const GlobalLog &G,
+                             MoverChecker &Movers);
+
+/// I_reorderPUSH (Lemma 5.10).
+InvariantReport checkIReorderPush(const ThreadState &Th, const GlobalLog &G,
+                                  MoverChecker &Movers);
+
+/// I_localOrder (Lemma 5.12).
+InvariantReport checkILocalOrder(const ThreadState &Th,
+                                 MoverChecker &Movers);
+
+/// The mover-based invariant suite (I_LG, I_slideR, I_reorderPUSH,
+/// I_localOrder); first failure wins.
+InvariantReport checkAllInvariants(const ThreadState &Th, const GlobalLog &G,
+                                   MoverChecker &Movers);
+
+/// I_slidePushed (Lemma 5.9), decided with the precongruence engine.
+InvariantReport checkISlidePushed(const ThreadState &Th, const GlobalLog &G,
+                                  PrecongruenceChecker &Pre,
+                                  const SequentialSpec &Spec);
+
+/// I_chronPush (Lemma 5.11).
+InvariantReport checkIChronPush(const ThreadState &Th, const GlobalLog &G,
+                                PrecongruenceChecker &Pre,
+                                const SequentialSpec &Spec);
+
+/// I_localReorder (Lemma 5.13).
+InvariantReport checkILocalReorder(const ThreadState &Th, const GlobalLog &G,
+                                   PrecongruenceChecker &Pre,
+                                   const SequentialSpec &Spec);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_INVARIANTS_H

@@ -1,0 +1,169 @@
+//===- core/Log.cpp - Local and global operation logs ----------------------===//
+
+#include "core/Log.h"
+
+#include "support/Str.h"
+
+#include <cassert>
+
+using namespace pushpull;
+
+std::string pushpull::toString(LocalKind K) {
+  switch (K) {
+  case LocalKind::NotPushed:
+    return "npshd";
+  case LocalKind::Pushed:
+    return "pshd";
+  case LocalKind::Pulled:
+    return "pld";
+  }
+  return "?";
+}
+
+void LocalLog::truncate(size_t NewSize) {
+  assert(NewSize <= Entries.size() && "truncate growing a log");
+  Entries.resize(NewSize);
+}
+
+void LocalLog::removeAt(size_t I) {
+  assert(I < Entries.size() && "removeAt out of range");
+  Entries.erase(Entries.begin() + static_cast<ptrdiff_t>(I));
+}
+
+size_t LocalLog::indexOf(OpId Id) const {
+  for (size_t I = 0; I < Entries.size(); ++I)
+    if (Entries[I].Op.Id == Id)
+      return I;
+  return npos;
+}
+
+std::vector<Operation> LocalLog::ops() const {
+  std::vector<Operation> Out;
+  Out.reserve(Entries.size());
+  for (const LocalEntry &E : Entries)
+    Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<Operation> LocalLog::opsOmitting(size_t Omit) const {
+  std::vector<Operation> Out;
+  Out.reserve(Entries.size());
+  for (size_t I = 0; I < Entries.size(); ++I)
+    if (I != Omit)
+      Out.push_back(Entries[I].Op);
+  return Out;
+}
+
+std::vector<Operation> LocalLog::project(LocalKind K) const {
+  std::vector<Operation> Out;
+  for (const LocalEntry &E : Entries)
+    if (E.Kind == K)
+      Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<Operation> LocalLog::ownOps() const {
+  std::vector<Operation> Out;
+  for (const LocalEntry &E : Entries)
+    if (E.Kind != LocalKind::Pulled)
+      Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<size_t> LocalLog::indicesOf(LocalKind K) const {
+  std::vector<size_t> Out;
+  for (size_t I = 0; I < Entries.size(); ++I)
+    if (Entries[I].Kind == K)
+      Out.push_back(I);
+  return Out;
+}
+
+std::string LocalLog::toString() const {
+  std::vector<std::string> Parts;
+  for (const LocalEntry &E : Entries)
+    Parts.push_back(E.Op.toString() + ":" + pushpull::toString(E.Kind));
+  return "L[" + join(Parts, ", ") + "]";
+}
+
+std::string pushpull::toString(GlobalKind K) {
+  switch (K) {
+  case GlobalKind::Uncommitted:
+    return "gUCmt";
+  case GlobalKind::Committed:
+    return "gCmt";
+  }
+  return "?";
+}
+
+void GlobalLog::removeAt(size_t I) {
+  assert(I < Entries.size() && "removeAt out of range");
+  Entries.erase(Entries.begin() + static_cast<ptrdiff_t>(I));
+}
+
+size_t GlobalLog::indexOf(OpId Id) const {
+  for (size_t I = 0; I < Entries.size(); ++I)
+    if (Entries[I].Op.Id == Id)
+      return I;
+  return npos;
+}
+
+std::vector<Operation> GlobalLog::ops() const {
+  std::vector<Operation> Out;
+  Out.reserve(Entries.size());
+  for (const GlobalEntry &E : Entries)
+    Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<Operation> GlobalLog::project(GlobalKind K) const {
+  std::vector<Operation> Out;
+  for (const GlobalEntry &E : Entries)
+    if (E.Kind == K)
+      Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<Operation> GlobalLog::minus(const LocalLog &L) const {
+  std::vector<Operation> Out;
+  for (const GlobalEntry &E : Entries)
+    if (!L.contains(E.Op.Id))
+      Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<Operation> GlobalLog::uncommittedNotIn(const LocalLog &L) const {
+  std::vector<Operation> Out;
+  for (const GlobalEntry &E : Entries)
+    if (E.Kind == GlobalKind::Uncommitted && !L.contains(E.Op.Id))
+      Out.push_back(E.Op);
+  return Out;
+}
+
+std::vector<Operation> GlobalLog::uncommittedNotOwnedBy(TxId T) const {
+  std::vector<Operation> Out;
+  for (const GlobalEntry &E : Entries)
+    if (E.Kind == GlobalKind::Uncommitted && E.Owner != T)
+      Out.push_back(E.Op);
+  return Out;
+}
+
+bool GlobalLog::containsAll(const LocalLog &L) const {
+  for (const LocalEntry &E : L.entries())
+    if (!contains(E.Op.Id))
+      return false;
+  return true;
+}
+
+void GlobalLog::commitOwned(const LocalLog &L) {
+  for (GlobalEntry &E : Entries)
+    if (L.contains(E.Op.Id))
+      E.Kind = GlobalKind::Committed;
+}
+
+std::string GlobalLog::toString() const {
+  std::vector<std::string> Parts;
+  for (const GlobalEntry &E : Entries)
+    Parts.push_back(E.Op.toString() + ":" + pushpull::toString(E.Kind) +
+                    "@t" + std::to_string(E.Owner));
+  return "G[" + join(Parts, ", ") + "]";
+}

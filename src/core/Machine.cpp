@@ -1,0 +1,569 @@
+//===- core/Machine.cpp - The PUSH/PULL machine -----------------------------===//
+
+#include "core/Machine.h"
+
+#include "core/Invariants.h"
+#include "lang/Printer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pushpull;
+
+PushPullMachine::PushPullMachine(const SequentialSpec &Spec,
+                                 MoverChecker &Movers, MachineConfig Config)
+    : Spec(&Spec), Movers(&Movers), Config(Config) {}
+
+TxId PushPullMachine::addThread(std::vector<CodePtr> Transactions) {
+  ThreadState T;
+  T.Tid = static_cast<TxId>(Threads.size());
+  for (CodePtr &C : Transactions) {
+    assert(C && "null transaction body");
+    // Accept either `tx { body }` or a bare body.
+    T.Pending.push_back(C->kind() == CodeKind::Tx ? C->body() : C);
+  }
+  Threads.push_back(std::move(T));
+  return Threads.back().Tid;
+}
+
+void PushPullMachine::queueTransactionsFront(
+    TxId T, std::vector<CodePtr> Transactions) {
+  ThreadState &Th = threadMut(T);
+  for (size_t I = Transactions.size(); I > 0; --I) {
+    CodePtr C = Transactions[I - 1];
+    assert(C && "null transaction body");
+    Th.Pending.insert(Th.Pending.begin(),
+                      C->kind() == CodeKind::Tx ? C->body() : C);
+  }
+}
+
+const ThreadState &PushPullMachine::thread(TxId T) const {
+  assert(T < Threads.size() && "bad thread id");
+  return Threads[T];
+}
+
+ThreadState &PushPullMachine::threadMut(TxId T) {
+  assert(T < Threads.size() && "bad thread id");
+  return Threads[T];
+}
+
+bool PushPullMachine::beginTx(TxId T) {
+  ThreadState &Th = threadMut(T);
+  if (Th.InTx || Th.Pending.empty())
+    return false;
+  Th.Code = Th.Pending.front();
+  Th.Pending.erase(Th.Pending.begin());
+  Th.OrigCode = Th.Code;
+  Th.OrigSigma = Th.Sigma;
+  Th.InTx = true;
+  assert(Th.L.empty() && "local log nonempty outside a transaction");
+  return true;
+}
+
+template <typename Fn>
+CriterionReport PushPullMachine::evalCriterion(const std::string &Name,
+                                               Fn &&Thunk,
+                                               const std::string &Detail)
+    const {
+  if (Config.Level == ValidationLevel::Trusting) {
+    // Trusting mode does not spend time on the semantic criteria; report
+    // them as unchecked-but-accepted.
+    return criterion(Name, Tri::Yes, "unchecked (trusting mode)");
+  }
+  return criterion(Name, Thunk(), Detail);
+}
+
+bool PushPullMachine::reportsPass(
+    const std::vector<CriterionReport> &Rs) const {
+  for (const CriterionReport &R : Rs) {
+    if (R.Verdict == Tri::No)
+      return false;
+    if (R.Verdict == Tri::Unknown && Config.UnknownIsFailure)
+      return false;
+  }
+  return true;
+}
+
+void PushPullMachine::recordAudit(TxId T, const Operation *Op,
+                                  const RuleResult &R) {
+  if (!Config.KeepAudit)
+    return;
+  AuditEntry E;
+  E.Tid = T;
+  if (Op)
+    E.OpText = Op->toString();
+  E.Result = R;
+  Audit.push_back(std::move(E));
+}
+
+std::string PushPullMachine::auditToString() const {
+  std::string Out;
+  for (const AuditEntry &E : Audit) {
+    Out += "t" + std::to_string(E.Tid) + ": ";
+    if (!E.OpText.empty())
+      Out += E.OpText + " ";
+    Out += E.Result.toString() + "\n";
+  }
+  return Out;
+}
+
+void PushPullMachine::recordEvent(TxId T, RuleKind K, const Operation *Op,
+                                  bool PulledUncommitted) {
+  TraceEvent E;
+  E.Tid = T;
+  E.Rule = K;
+  if (Op) {
+    E.Id = Op->Id;
+    E.OpText = Op->toString();
+  }
+  E.PulledUncommitted = PulledUncommitted;
+  Trace.record(std::move(E));
+}
+
+void PushPullMachine::checkInvariantsAfterStep(const char *Rule) {
+  if (Config.Level != ValidationLevel::Full)
+    return;
+  for (const ThreadState &Th : Threads) {
+    InvariantReport R = checkAllInvariants(Th, G, *Movers);
+    if (!R.Holds) {
+      // Full mode is a hard runtime guarantee, independent of NDEBUG: a
+      // broken Section 5.3 invariant means the machine itself is wrong,
+      // and continuing would corrupt every downstream verdict.
+      std::fprintf(stderr,
+                   "pushpull: machine invariant %s violated after %s on "
+                   "t%u: %s\n",
+                   R.Which.c_str(), Rule, Th.Tid, R.Detail.c_str());
+      std::abort();
+    }
+  }
+}
+
+std::vector<AppChoice> PushPullMachine::appChoices(TxId T) const {
+  const ThreadState &Th = thread(T);
+  std::vector<AppChoice> Out;
+  if (!Th.InTx)
+    return Out;
+  StateSet View = Spec->denote(Th.L.ops());
+  std::vector<StepItem> Steps = step(Th.Code);
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    auto Call = Steps[I].Call.resolve(Th.Sigma);
+    if (!Call)
+      continue;
+    AppChoice C;
+    C.Completions = Spec->completionsFrom(View, *Call);
+    if (C.Completions.empty())
+      continue; // Method not allowed under the local view at all.
+    C.Item = std::move(Steps[I]);
+    C.StepIdx = I;
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+RuleResult PushPullMachine::app(TxId T, size_t StepIdx, size_t CompIdx) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::App, "no transaction in progress");
+
+  std::vector<StepItem> Steps = step(Th.Code);
+  if (StepIdx >= Steps.size())
+    return RuleResult::malformed(RuleKind::App, "step choice out of range");
+  const StepItem &It = Steps[StepIdx];
+
+  auto Call = It.Call.resolve(Th.Sigma);
+  if (!Call)
+    return RuleResult::malformed(RuleKind::App,
+                                 "unbound variable in method arguments");
+
+  // APP criterion (ii): the local log allows the operation; we realize it
+  // by drawing the completion from the local view's allowed completions.
+  StateSet View = Spec->denote(Th.L.ops());
+  std::vector<Completion> Comps = Spec->completionsFrom(View, *Call);
+  std::vector<CriterionReport> Rs;
+  Rs.push_back(criterion("APP criterion (i)", Tri::Yes,
+                         "(m, c') drawn from step(c)"));
+  if (CompIdx >= Comps.size()) {
+    Rs.push_back(criterion("APP criterion (ii)", Tri::No,
+                           "local log does not allow the operation (no "
+                           "such completion)"));
+    return RuleResult::rejected(RuleKind::App, std::move(Rs));
+  }
+  Rs.push_back(criterion("APP criterion (ii)", Tri::Yes,
+                         "completion allowed by the local log"));
+
+  Operation Op;
+  Op.Call = *Call;
+  Op.Pre = Th.Sigma;
+  Op.Result = Comps[CompIdx].Result;
+  Stack Post = Th.Sigma;
+  if (It.Call.ResultVar && Op.Result)
+    Post.set(*It.Call.ResultVar, *Op.Result);
+  Op.Post = Post;
+  Op.Id = Ids.fresh();
+  Rs.push_back(criterion("APP criterion (iii)", Tri::Yes,
+                         "id #" + std::to_string(Op.Id) + " is fresh"));
+
+  LocalEntry E;
+  E.Op = Op;
+  E.Kind = LocalKind::NotPushed;
+  E.SavedCode = Th.Code; // The pre-code c1, so UNAPP can rewind to it.
+  Th.L.append(std::move(E));
+  Th.Sigma = std::move(Post);
+  Th.Code = It.Rest;
+
+  recordEvent(T, RuleKind::App, &Op);
+  checkInvariantsAfterStep("APP");
+  RuleResult Out = RuleResult::applied(RuleKind::App, std::move(Rs));
+  recordAudit(T, &Op, Out);
+  return Out;
+}
+
+RuleResult PushPullMachine::unapp(TxId T) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::UnApp,
+                                 "no transaction in progress");
+  if (Th.L.empty())
+    return RuleResult::malformed(RuleKind::UnApp, "local log is empty");
+
+  const LocalEntry &Last = Th.L[Th.L.size() - 1];
+  if (Last.Kind != LocalKind::NotPushed)
+    return RuleResult::rejected(
+        RuleKind::UnApp,
+        {criterion("UNAPP flag check", Tri::No,
+                   "last local entry is " + pushpull::toString(Last.Kind) +
+                       ", not npshd")});
+
+  Operation Op = Last.Op;
+  Th.Sigma = Last.Op.Pre;    // Recall the previous local stack...
+  Th.Code = Last.SavedCode;  // ...and the previous code.
+  Th.L.truncate(Th.L.size() - 1);
+
+  recordEvent(T, RuleKind::UnApp, &Op);
+  checkInvariantsAfterStep("UNAPP");
+  RuleResult Out = RuleResult::applied(RuleKind::UnApp);
+  recordAudit(T, &Op, Out);
+  return Out;
+}
+
+RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::Push, "no transaction in progress");
+  if (LocalIdx >= Th.L.size())
+    return RuleResult::malformed(RuleKind::Push, "no such local-log entry");
+  const LocalEntry &E = Th.L[LocalIdx];
+  if (E.Kind != LocalKind::NotPushed)
+    return RuleResult::rejected(
+        RuleKind::Push, {criterion("PUSH flag check", Tri::No,
+                                   "entry is not npshd")});
+  const Operation &Op = E.Op;
+
+  std::vector<CriterionReport> Rs;
+
+  // PUSH criterion (i): op can move to the left of every unpushed
+  // operation that precedes it in the local log ("publish op as if it was
+  // the next thing to happen after the operations published thus far").
+  // When operations are pushed in the order they were applied this is
+  // vacuous, which is the paper's remark that existing implementations
+  // satisfy it trivially; it bites only for out-of-order pushes (Sec. 7).
+  Rs.push_back(evalCriterion("PUSH criterion (i)", [&] {
+    Tri V = Tri::Yes;
+    for (size_t I = 0; I < LocalIdx; ++I) {
+      const LocalEntry &U = Th.L[I];
+      if (U.Kind != LocalKind::NotPushed)
+        continue;
+      V = triAnd(V, Movers->leftMover(Op, U.Op));
+      if (V == Tri::No)
+        break;
+    }
+    return V;
+  }));
+
+  // PUSH criterion (ii): every uncommitted operation of *another*
+  // transaction in G can move to the right of op (x <| op).  "Another
+  // transaction" is by ownership: an uncommitted operation we pulled into
+  // our view still constrains us — exempting it would let a transaction
+  // pull, publish around, unpull, and commit before its dependency,
+  // breaking the owner's I_slideR (Lemma 5.8) and with it the commit-order
+  // serialization witness.
+  Rs.push_back(evalCriterion("PUSH criterion (ii)", [&] {
+    Tri V = Tri::Yes;
+    for (const Operation &X : G.uncommittedNotOwnedBy(T)) {
+      V = triAnd(V, Movers->leftMover(X, Op));
+      if (V == Tri::No)
+        break;
+    }
+    return V;
+  }));
+
+  // PUSH criterion (iii): G . op is allowed by the sequential spec.
+  Rs.push_back(evalCriterion("PUSH criterion (iii)", [&] {
+    std::vector<Operation> Ext = G.ops();
+    Ext.push_back(Op);
+    return triOf(Spec->allowed(Ext));
+  }));
+
+  if (!reportsPass(Rs))
+    return RuleResult::rejected(RuleKind::Push, std::move(Rs));
+
+  Th.L.setKind(LocalIdx, LocalKind::Pushed);
+  GlobalEntry GE;
+  GE.Op = Op;
+  GE.Kind = GlobalKind::Uncommitted;
+  GE.Owner = T;
+  G.append(std::move(GE));
+
+  recordEvent(T, RuleKind::Push, &Op);
+  checkInvariantsAfterStep("PUSH");
+  RuleResult Out = RuleResult::applied(RuleKind::Push, std::move(Rs));
+  recordAudit(T, &Op, Out);
+  return Out;
+}
+
+RuleResult PushPullMachine::unpush(TxId T, size_t LocalIdx) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::UnPush,
+                                 "no transaction in progress");
+  if (LocalIdx >= Th.L.size())
+    return RuleResult::malformed(RuleKind::UnPush, "no such local-log entry");
+  const LocalEntry &E = Th.L[LocalIdx];
+  if (E.Kind != LocalKind::Pushed)
+    return RuleResult::rejected(
+        RuleKind::UnPush, {criterion("UNPUSH flag check", Tri::No,
+                                     "entry is not pshd")});
+  const Operation &Op = E.Op;
+
+  size_t GIdx = G.indexOf(Op.Id);
+  if (GIdx == GlobalLog::npos)
+    return RuleResult::malformed(RuleKind::UnPush,
+                                 "pshd entry missing from G (I_LG broken)");
+  if (G[GIdx].Kind == GlobalKind::Committed)
+    return RuleResult::rejected(
+        RuleKind::UnPush, {criterion("UNPUSH uncommitted check", Tri::No,
+                                     "cannot unpush a committed operation")});
+
+  std::vector<CriterionReport> Rs;
+
+  // UNPUSH criterion (i) (gray: "not strictly necessary because we can
+  // prove that it must hold whenever an UNPUSH occurs"): nothing pushed
+  // after op depends on it — op can move right past every later entry of
+  // other transactions.
+  if (Config.EnforceGrayCriteria) {
+    Rs.push_back(evalCriterion("UNPUSH criterion (i)", [&] {
+      Tri V = Tri::Yes;
+      for (size_t I = GIdx + 1; I < G.size(); ++I) {
+        if (Th.L.contains(G[I].Op.Id))
+          continue;
+        V = triAnd(V, Movers->leftMover(Op, G[I].Op));
+        if (V == Tri::No)
+          break;
+      }
+      return V;
+    }));
+  }
+
+  // UNPUSH criterion (ii): everything pushed chronologically after op
+  // could still have been pushed had op not been — i.e. G with op removed
+  // is still allowed.
+  Rs.push_back(evalCriterion("UNPUSH criterion (ii)", [&] {
+    std::vector<Operation> Without;
+    for (size_t I = 0; I < G.size(); ++I)
+      if (I != GIdx)
+        Without.push_back(G[I].Op);
+    return triOf(Spec->allowed(Without));
+  }));
+
+  if (!reportsPass(Rs))
+    return RuleResult::rejected(RuleKind::UnPush, std::move(Rs));
+
+  Th.L.setKind(LocalIdx, LocalKind::NotPushed);
+  G.removeAt(GIdx);
+
+  recordEvent(T, RuleKind::UnPush, &Op);
+  checkInvariantsAfterStep("UNPUSH");
+  RuleResult Out = RuleResult::applied(RuleKind::UnPush, std::move(Rs));
+  recordAudit(T, &Op, Out);
+  return Out;
+}
+
+RuleResult PushPullMachine::pull(TxId T, size_t GlobalIdx) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::Pull, "no transaction in progress");
+  if (GlobalIdx >= G.size())
+    return RuleResult::malformed(RuleKind::Pull, "no such global-log entry");
+  const GlobalEntry &GE = G[GlobalIdx];
+  const Operation &Op = GE.Op;
+
+  std::vector<CriterionReport> Rs;
+
+  // PULL criterion (i): op was not pulled (or pushed) before.
+  Rs.push_back(criterion("PULL criterion (i)",
+                         triOf(!Th.L.contains(Op.Id)),
+                         "operation must not already be in L"));
+
+  // PULL criterion (ii): the local log allows op.
+  Rs.push_back(evalCriterion("PULL criterion (ii)", [&] {
+    return triOf(Spec->allowsFrom(Spec->denote(Th.L.ops()), Op));
+  }));
+
+  // PULL criterion (iii) (gray): everything the transaction has done
+  // locally can move to the right of op, so it can behave as if the pulled
+  // effect preceded it.
+  if (Config.EnforceGrayCriteria) {
+    Rs.push_back(evalCriterion("PULL criterion (iii)", [&] {
+      Tri V = Tri::Yes;
+      for (const Operation &X : Th.L.ownOps()) {
+        V = triAnd(V, Movers->leftMover(X, Op));
+        if (V == Tri::No)
+          break;
+      }
+      return V;
+    }));
+  }
+
+  if (!reportsPass(Rs))
+    return RuleResult::rejected(RuleKind::Pull, std::move(Rs));
+
+  bool WasUncommitted = GE.Kind == GlobalKind::Uncommitted;
+  LocalEntry E;
+  E.Op = Op;
+  E.Kind = LocalKind::Pulled;
+  Th.L.append(std::move(E));
+
+  recordEvent(T, RuleKind::Pull, &Op, WasUncommitted);
+  checkInvariantsAfterStep("PULL");
+  RuleResult Out = RuleResult::applied(RuleKind::Pull, std::move(Rs));
+  recordAudit(T, &Op, Out);
+  return Out;
+}
+
+RuleResult PushPullMachine::unpull(TxId T, size_t LocalIdx) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::UnPull,
+                                 "no transaction in progress");
+  if (LocalIdx >= Th.L.size())
+    return RuleResult::malformed(RuleKind::UnPull, "no such local-log entry");
+  const LocalEntry &E = Th.L[LocalIdx];
+  if (E.Kind != LocalKind::Pulled)
+    return RuleResult::rejected(
+        RuleKind::UnPull, {criterion("UNPULL flag check", Tri::No,
+                                     "entry is not pld")});
+  Operation Op = E.Op;
+
+  std::vector<CriterionReport> Rs;
+
+  // UNPULL criterion (i): the local log is allowed without op (the
+  // transaction did nothing that depended on it).
+  Rs.push_back(evalCriterion("UNPULL criterion (i)", [&] {
+    return triOf(Spec->allowed(Th.L.opsOmitting(LocalIdx)));
+  }));
+
+  if (!reportsPass(Rs))
+    return RuleResult::rejected(RuleKind::UnPull, std::move(Rs));
+
+  Th.L.removeAt(LocalIdx);
+
+  recordEvent(T, RuleKind::UnPull, &Op);
+  checkInvariantsAfterStep("UNPULL");
+  RuleResult Out = RuleResult::applied(RuleKind::UnPull, std::move(Rs));
+  recordAudit(T, &Op, Out);
+  return Out;
+}
+
+RuleResult PushPullMachine::commit(TxId T) {
+  ThreadState &Th = threadMut(T);
+  if (!Th.InTx)
+    return RuleResult::malformed(RuleKind::Commit,
+                                 "no transaction in progress");
+
+  std::vector<CriterionReport> Rs;
+
+  // CMT criterion (i): there is a path through the remaining code to skip.
+  Rs.push_back(criterion("CMT criterion (i)", triOf(fin(Th.Code)),
+                         "fin(c) must hold"));
+
+  // CMT criterion (ii): L c= G — all own operations have been pushed (and
+  // no pulled operation has vanished from G via its owner's UNPUSH).
+  {
+    bool AllPushed = Th.L.project(LocalKind::NotPushed).empty();
+    bool Contained = G.containsAll(Th.L);
+    Rs.push_back(criterion(
+        "CMT criterion (ii)", triOf(AllPushed && Contained),
+        AllPushed ? (Contained ? "" : "a pulled operation is no longer in G")
+                  : "unpushed operations remain in L"));
+  }
+
+  // CMT criterion (iii): every pulled operation is committed in G.
+  Rs.push_back(criterion("CMT criterion (iii)", [&] {
+    for (const LocalEntry &E : Th.L.entries()) {
+      if (E.Kind != LocalKind::Pulled)
+        continue;
+      size_t GI = G.indexOf(E.Op.Id);
+      if (GI == GlobalLog::npos || G[GI].Kind != GlobalKind::Committed)
+        return Tri::No;
+    }
+    return Tri::Yes;
+  }(), "pulled operations must belong to committed transactions"));
+
+  if (!reportsPass(Rs))
+    return RuleResult::rejected(RuleKind::Commit, std::move(Rs));
+
+  // CMT criterion (iv): G2 = cmt(G1, L1, G2) — flip own entries to gCmt.
+  G.commitOwned(Th.L);
+  Rs.push_back(criterion("CMT criterion (iv)", Tri::Yes,
+                         "own global entries marked gCmt"));
+
+  CommittedTx Rec;
+  Rec.Tid = T;
+  Rec.Body = Th.OrigCode;
+  Rec.Sigma = Th.OrigSigma;
+  Rec.FinalSigma = Th.Sigma;
+  Rec.CommitSeq = CommitSeq++;
+  Committed.push_back(std::move(Rec));
+
+  Th.InTx = false;
+  Th.Code = nullptr;
+  Th.OrigCode = nullptr;
+  Th.L = LocalLog();
+  ++Th.Commits;
+
+  recordEvent(T, RuleKind::Commit, nullptr);
+  checkInvariantsAfterStep("CMT");
+  RuleResult Out = RuleResult::applied(RuleKind::Commit, std::move(Rs));
+  recordAudit(T, nullptr, Out);
+  return Out;
+}
+
+std::vector<Operation> PushPullMachine::committedLog() const {
+  return G.project(GlobalKind::Committed);
+}
+
+StateSet PushPullMachine::localView(TxId T) const {
+  return Spec->denote(thread(T).L.ops());
+}
+
+bool PushPullMachine::quiescent() const {
+  for (const ThreadState &Th : Threads)
+    if (!Th.done())
+      return false;
+  return true;
+}
+
+std::string PushPullMachine::toString() const {
+  std::string Out;
+  for (const ThreadState &Th : Threads) {
+    Out += "t" + std::to_string(Th.Tid) + ": ";
+    if (Th.InTx)
+      Out += "in-tx code=" + printCode(Th.Code) + " " + Th.L.toString();
+    else
+      Out += Th.Pending.empty() ? "done" : "idle";
+    Out += "\n";
+  }
+  Out += G.toString() + "\n";
+  return Out;
+}

@@ -1,0 +1,249 @@
+//===- core/Machine.h - The PUSH/PULL machine -------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PUSH/PULL machine of Section 4 (Figures 4, 5, 6).  Machine
+/// configurations are (T, G): a list of threads {c, sigma, L} plus the
+/// shared log G.  Threads reduce via the seven rules
+///
+///   APP     apply a next method locally (appends npshd to L)
+///   UNAPP   rewind the latest unpushed application (restores code/stack)
+///   PUSH    publish a local effect (npshd -> pshd; appended to G)
+///   UNPUSH  recall a published effect (pshd -> npshd; removed from G)
+///   PULL    view another transaction's published effect (appends pld)
+///   UNPULL  discard a pulled effect
+///   CMT     commit: flip all own G entries gUCmt -> gCmt, clear L
+///
+/// each guarded by the criteria of Figure 5, which this machine evaluates
+/// mechanically (movers via MoverChecker, allowed-ness via the spec).  The
+/// structural rules of Figure 6 (NONDETL/R, LOOP, SEMI, SEMISKIP) are
+/// subsumed by using step()/fin() inside APP and CMT, exactly as the
+/// paper's APP/CMT premises do.
+///
+/// A thread's program is a sequence of transactions (the paper's
+/// well-formedness: every method occurs inside a transaction); beginTx
+/// starts the next one, recording the rewind point otx = (original code,
+/// original stack) that UNAPP chains back to and that the serializability
+/// oracle replays.
+///
+/// Rule attempts never mutate state when rejected, so schedulers and the
+/// exhaustive explorer may probe moves freely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_MACHINE_H
+#define PUSHPULL_CORE_MACHINE_H
+
+#include "core/Criteria.h"
+#include "core/Log.h"
+#include "core/Mover.h"
+#include "core/Spec.h"
+#include "core/Trace.h"
+#include "lang/StepFin.h"
+
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// How strictly the machine checks each rule application.
+enum class ValidationLevel {
+  /// Structural checks only (flags, membership); the semantic criteria
+  /// (movers, allowed-ness of G) are not evaluated.  For measuring
+  /// validation overhead (E8) and for engines proven correct by
+  /// construction.
+  Trusting,
+  /// Evaluate and enforce every criterion of Figure 5 (the default).
+  Criteria,
+  /// Criteria plus the Section 5.3 invariants (I_LG, I_slideR,
+  /// I_localOrder, I_reorderPUSH) re-checked after every mutation.  Slow;
+  /// for tests.
+  Full,
+};
+
+/// Machine configuration knobs.
+struct MachineConfig {
+  ValidationLevel Level = ValidationLevel::Criteria;
+  /// Enforce the criteria the paper marks gray ("not strictly necessary"):
+  /// UNPUSH criterion (i) and PULL criterion (iii).
+  bool EnforceGrayCriteria = true;
+  /// Treat Tri::Unknown criterion verdicts as failures (sound default).
+  bool UnknownIsFailure = true;
+  /// Keep every *applied* rule's full RuleResult (criterion-by-criterion
+  /// verdicts) in an audit log — the machine-checked analogue of the
+  /// paper's per-rule proof obligations.  Off by default (memory).
+  bool KeepAudit = false;
+};
+
+/// One thread {c, sigma, L} plus its queued future transactions and the
+/// otx rewind point of the transaction in progress.
+struct ThreadState {
+  TxId Tid = 0;
+  /// Remaining code of the transaction in progress (undefined outside one).
+  CodePtr Code;
+  Stack Sigma;
+  LocalLog L;
+  /// otx: body and stack at the start of the in-progress transaction.
+  CodePtr OrigCode;
+  Stack OrigSigma;
+  bool InTx = false;
+  /// Transactions not yet begun, in program order.
+  std::vector<CodePtr> Pending;
+  /// Number of CMTs this thread has performed.
+  size_t Commits = 0;
+
+  bool done() const { return !InTx && Pending.empty(); }
+};
+
+/// A committed transaction, recorded for the serializability oracle: the
+/// otx (rewound body + starting stack), the stack it actually finished
+/// with (the simulation requires the atomic replay to reproduce it —
+/// cmtpres relates runs with the *same* final sigma'), and the global
+/// commit order index.
+struct CommittedTx {
+  TxId Tid = 0;
+  CodePtr Body;
+  Stack Sigma;
+  Stack FinalSigma;
+  uint64_t CommitSeq = 0;
+};
+
+/// One APP possibility: a step() item together with its allowed
+/// completions under the current local view.
+struct AppChoice {
+  StepItem Item;
+  /// Index of Item within step(c) — pass to app().
+  size_t StepIdx = 0;
+  std::vector<Completion> Completions;
+};
+
+/// The PUSH/PULL machine.  Copyable (for the explorer's DFS): copies share
+/// the spec and the mover checker's memo tables, which are pure caches.
+class PushPullMachine {
+public:
+  PushPullMachine(const SequentialSpec &Spec, MoverChecker &Movers,
+                  MachineConfig Config = {});
+
+  /// Add a thread whose program is the given sequence of transaction
+  /// bodies (a leading Tx node on a body is stripped).  Returns its id.
+  TxId addThread(std::vector<CodePtr> Transactions);
+
+  /// Prepend further transactions to a thread's pending queue (they run
+  /// before anything already queued).  Engines use this for dynamically
+  /// generated work such as open nesting's compensating transactions.
+  void queueTransactionsFront(TxId T, std::vector<CodePtr> Transactions);
+
+  // -- Structural (non-rule) reductions ------------------------------------
+
+  /// Begin the thread's next pending transaction.  Fails (returns false)
+  /// if one is already in progress or none are pending.
+  bool beginTx(TxId T);
+
+  // -- The seven rules of Figure 5 -----------------------------------------
+
+  /// All APP possibilities for thread \p T right now.
+  std::vector<AppChoice> appChoices(TxId T) const;
+
+  /// APP using choice \p StepIdx of step(c) and completion \p CompIdx of
+  /// the allowed completions.
+  RuleResult app(TxId T, size_t StepIdx, size_t CompIdx);
+
+  /// UNAPP the most recent local-log entry (must be npshd).
+  RuleResult unapp(TxId T);
+
+  /// PUSH the local-log entry at \p LocalIdx (must be npshd).
+  RuleResult push(TxId T, size_t LocalIdx);
+
+  /// UNPUSH the local-log entry at \p LocalIdx (must be pshd).
+  RuleResult unpush(TxId T, size_t LocalIdx);
+
+  /// PULL the global-log entry at \p GlobalIdx.
+  RuleResult pull(TxId T, size_t GlobalIdx);
+
+  /// UNPULL the local-log entry at \p LocalIdx (must be pld).
+  RuleResult unpull(TxId T, size_t LocalIdx);
+
+  /// CMT the thread's transaction.
+  RuleResult commit(TxId T);
+
+  // -- Observation ----------------------------------------------------------
+
+  const GlobalLog &global() const { return G; }
+  const std::vector<ThreadState> &threads() const { return Threads; }
+  const ThreadState &thread(TxId T) const;
+  const RuleTrace &trace() const { return Trace; }
+
+  /// One audited rule application (only recorded with Config.KeepAudit).
+  struct AuditEntry {
+    TxId Tid = 0;
+    std::string OpText;
+    RuleResult Result;
+  };
+  const std::vector<AuditEntry> &audit() const { return Audit; }
+
+  /// Render the audit log: every applied rule with each criterion's
+  /// verdict — the discharge record of the paper's side-conditions.
+  std::string auditToString() const;
+  const std::vector<CommittedTx> &committed() const { return Committed; }
+  const SequentialSpec &spec() const { return *Spec; }
+  MoverChecker &movers() const { return *Movers; }
+  const MachineConfig &config() const { return Config; }
+
+  /// Replace the validation configuration.  Useful for tests and
+  /// experiments that build a configuration under one regime and then
+  /// probe rules under another.
+  void setConfig(MachineConfig C) { Config = C; }
+
+  /// The committed projection |G|_gCmt — what the serializability theorem
+  /// relates to an atomic log.
+  std::vector<Operation> committedLog() const;
+
+  /// The thread's local view: denotation of its local log.
+  StateSet localView(TxId T) const;
+
+  /// True when every thread is done and no transaction is in flight.
+  bool quiescent() const;
+
+  /// Render the full configuration (threads + G) for diagnostics.
+  std::string toString() const;
+
+private:
+  ThreadState &threadMut(TxId T);
+
+  /// Evaluate a Tri criterion under the current validation level: at
+  /// Trusting level the thunk is skipped entirely.
+  template <typename Fn>
+  CriterionReport evalCriterion(const std::string &Name, Fn &&Thunk,
+                                const std::string &Detail = "") const;
+
+  /// Does this set of reports permit the rule to fire?
+  bool reportsPass(const std::vector<CriterionReport> &Rs) const;
+
+  /// Run the Section 5.3 invariant suite (Full level only); asserts on
+  /// violation.
+  void checkInvariantsAfterStep(const char *Rule);
+
+  void recordEvent(TxId T, RuleKind K, const Operation *Op,
+                   bool PulledUncommitted = false);
+  void recordAudit(TxId T, const Operation *Op, const RuleResult &R);
+
+  const SequentialSpec *Spec;
+  MoverChecker *Movers;
+  MachineConfig Config;
+
+  std::vector<ThreadState> Threads;
+  GlobalLog G;
+  OpIdSource Ids;
+  RuleTrace Trace;
+  std::vector<AuditEntry> Audit;
+  std::vector<CommittedTx> Committed;
+  uint64_t CommitSeq = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_MACHINE_H

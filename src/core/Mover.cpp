@@ -1,0 +1,127 @@
+//===- core/Mover.cpp - Executable Definition 4.1 ---------------------------===//
+
+#include "core/Mover.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace pushpull;
+
+MoverChecker::MoverChecker(const SequentialSpec &Spec, MoverLimits Limits,
+                           PrecongruenceLimits PreLimits)
+    : Spec(Spec), Limits(Limits), Pre(Spec, PreLimits) {}
+
+std::string MoverChecker::opKey(const Operation &Op) {
+  // Moverness depends on the call and its result, never on the id or the
+  // thread stacks, so memoize on those alone.
+  std::string Out = Op.Call.toString();
+  if (Op.Result)
+    Out += "=" + std::to_string(*Op.Result);
+  return Out;
+}
+
+void MoverChecker::ensureReachable() {
+  if (ReachableComputed)
+    return;
+  ReachableComputed = true;
+  ReachableIsExact = true;
+
+  std::unordered_set<std::string> Seen;
+  std::deque<StateSet> Frontier;
+  std::vector<Operation> Probes = Spec.probeOps();
+
+  StateSet Init = Spec.initial();
+  Seen.insert(Init.key());
+  Reachable.push_back(Init);
+  Frontier.push_back(std::move(Init));
+
+  while (!Frontier.empty()) {
+    if (Reachable.size() >= Limits.MaxReachableSets) {
+      ReachableIsExact = false;
+      break;
+    }
+    StateSet S = std::move(Frontier.front());
+    Frontier.pop_front();
+    for (const Operation &Op : Probes) {
+      StateSet N = Spec.applyOp(S, Op);
+      if (N.empty())
+        continue;
+      if (!Seen.insert(N.key()).second)
+        continue;
+      Reachable.push_back(N);
+      Frontier.push_back(std::move(N));
+    }
+  }
+}
+
+Tri MoverChecker::leftMover(const Operation &A, const Operation &B) {
+  Tri Hint = Spec.leftMoverHint(A, B);
+  if (Hint != Tri::Unknown)
+    return Hint;
+  return leftMoverSemantic(A, B);
+}
+
+Tri MoverChecker::leftMoverSemantic(const Operation &A, const Operation &B) {
+  std::string Key = opKey(A) + '\x1d' + opKey(B);
+  auto It = Memo.find(Key);
+  if (It != Memo.end()) {
+    ++MemoHits;
+    return It->second;
+  }
+  ++MemoMisses;
+
+  ensureReachable();
+  Tri Out = Tri::Yes;
+  for (const StateSet &S : Reachable) {
+    StateSet AB = Spec.applyOp(Spec.applyOp(S, A), B);
+    if (AB.empty())
+      continue; // l.A.B not allowed from here: vacuously fine.
+    StateSet BA = Spec.applyOp(Spec.applyOp(S, B), A);
+    Tri V = Pre.check(AB, BA);
+    if (V == Tri::No) {
+      Out = Tri::No;
+      break;
+    }
+    if (V == Tri::Unknown)
+      Out = Tri::Unknown;
+  }
+  // If the enumeration was truncated, a Yes only covers the enumerated
+  // prefix of reachable logs.
+  if (Out == Tri::Yes && !ReachableIsExact)
+    Out = Tri::Unknown;
+
+  Memo.emplace(std::move(Key), Out);
+  return Out;
+}
+
+Tri MoverChecker::leftMoverAll(const std::vector<Operation> &As,
+                               const Operation &B) {
+  Tri Out = Tri::Yes;
+  for (const Operation &A : As) {
+    Out = triAnd(Out, leftMover(A, B));
+    if (Out == Tri::No)
+      return Out;
+  }
+  return Out;
+}
+
+Tri MoverChecker::leftMoverOverAll(const Operation &A,
+                                   const std::vector<Operation> &Bs) {
+  Tri Out = Tri::Yes;
+  for (const Operation &B : Bs) {
+    Out = triAnd(Out, leftMover(A, B));
+    if (Out == Tri::No)
+      return Out;
+  }
+  return Out;
+}
+
+bool MoverChecker::reachableExact() {
+  ensureReachable();
+  return ReachableIsExact;
+}
+
+size_t MoverChecker::reachableCount() {
+  ensureReachable();
+  return Reachable.size();
+}

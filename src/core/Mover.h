@@ -1,0 +1,107 @@
+//===- core/Mover.h - Executable Definition 4.1 -----------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lipton left-movers over logs, Definition 4.1:
+///
+///     op1 <| op2  ==  forall l.  l.op1.op2  =<  l.op2.op1
+///
+/// Following the paper's mnemonic (Section 5.1): the order of operations in
+/// "op1 <| op2" is their order in the log on the LEFT of =< (the real,
+/// interleaved log); the right-hand log is the hypothetical reordering the
+/// atomic machine would produce.  Thus:
+///
+///  * PUSH criterion (i) — "op can move to the left of every unpushed local
+///    op u" — is leftMover(op, u);
+///  * PUSH criterion (ii) — "every uncommitted op x of another transaction
+///    can move to the right of op" — is leftMover(x, op);
+///  * PULL criterion (iii) — "everything done locally can move to the right
+///    of the pulled op" — is leftMover(x, op) for each own x.
+///
+/// Executable form: the universal quantification over logs l becomes a
+/// quantification over the *reachable denotations* of the specification
+/// (the machine only ever needs moverness at reachable logs).  Reachable
+/// state sets are enumerated once, breadth-first under the probe alphabet,
+/// up to a configurable bound; each is then checked with the precongruence
+/// engine.  A spec's algebraic leftMoverHint short-circuits the semantic
+/// check when it has an opinion (boosting's "different keys commute").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_MOVER_H
+#define PUSHPULL_CORE_MOVER_H
+
+#include "core/Precongruence.h"
+#include "core/Spec.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pushpull {
+
+/// Bounds for reachable-denotation enumeration.
+struct MoverLimits {
+  /// Maximum number of distinct reachable state sets to enumerate.  When
+  /// the frontier is exhausted before the bound, the enumeration is exact.
+  size_t MaxReachableSets = 4096;
+};
+
+/// Decision procedure for the left-mover relation, with memoization.
+class MoverChecker {
+public:
+  MoverChecker(const SequentialSpec &Spec, MoverLimits Limits = {},
+               PrecongruenceLimits PreLimits = {});
+
+  /// Definition 4.1: may a real log ...A.B... be reordered (on the atomic
+  /// side) to ...B.A...?  Consults the spec's hint first, then decides
+  /// semantically over all reachable denotations.
+  Tri leftMover(const Operation &A, const Operation &B);
+
+  /// Lifted form: A <| b for every A in \p As.
+  Tri leftMoverAll(const std::vector<Operation> &As, const Operation &B);
+
+  /// Lifted form: a <| B for every B in \p Bs.
+  Tri leftMoverOverAll(const Operation &A, const std::vector<Operation> &Bs);
+
+  /// Force the semantic check (ignore hints) — used by tests that
+  /// cross-validate hints, and by the E8 ablation bench.
+  Tri leftMoverSemantic(const Operation &A, const Operation &B);
+
+  /// Was the reachable-set enumeration exhaustive (frontier emptied within
+  /// the bound)?  When false, semantic Yes answers are downgraded to
+  /// Unknown.
+  bool reachableExact();
+
+  /// Number of reachable state sets enumerated.
+  size_t reachableCount();
+
+  /// Decisions served from the memo table vs computed.
+  uint64_t memoHits() const { return MemoHits; }
+  uint64_t memoMisses() const { return MemoMisses; }
+
+  PrecongruenceChecker &precongruence() { return Pre; }
+
+private:
+  void ensureReachable();
+  static std::string opKey(const Operation &Op);
+
+  const SequentialSpec &Spec;
+  MoverLimits Limits;
+  PrecongruenceChecker Pre;
+
+  bool ReachableComputed = false;
+  bool ReachableIsExact = false;
+  std::vector<StateSet> Reachable;
+
+  std::unordered_map<std::string, Tri> Memo;
+  uint64_t MemoHits = 0, MemoMisses = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_MOVER_H

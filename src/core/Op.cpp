@@ -1,0 +1,51 @@
+//===- core/Op.cpp - Operation records and thread stacks ------------------===//
+
+#include "core/Op.h"
+
+#include "support/Str.h"
+
+#include <cassert>
+
+using namespace pushpull;
+
+std::optional<Value> Stack::get(const std::string &Var) const {
+  auto It = Vars.find(Var);
+  if (It == Vars.end())
+    return std::nullopt;
+  return It->second;
+}
+
+Value Stack::getOrDie(const std::string &Var) const {
+  auto V = get(Var);
+  assert(V && "unbound variable in stack");
+  return *V;
+}
+
+Stack Stack::bind(const std::string &Var, Value V) const {
+  Stack Out = *this;
+  Out.Vars[Var] = V;
+  return Out;
+}
+
+void Stack::set(const std::string &Var, Value V) { Vars[Var] = V; }
+
+std::string Stack::toString() const {
+  std::vector<std::string> Parts;
+  for (const auto &[Var, Val] : Vars)
+    Parts.push_back(Var + "->" + std::to_string(Val));
+  return "[" + join(Parts, ", ") + "]";
+}
+
+std::string ResolvedCall::toString() const {
+  std::vector<std::string> Parts;
+  for (Value A : Args)
+    Parts.push_back(std::to_string(A));
+  return Object + "." + Method + "(" + join(Parts, ",") + ")";
+}
+
+std::string Operation::toString() const {
+  std::string Out = "#" + std::to_string(Id) + ":" + Call.toString();
+  if (Result)
+    Out += "=" + std::to_string(*Result);
+  return Out;
+}

@@ -1,0 +1,128 @@
+//===- core/Op.h - Operation records and thread stacks ----------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operation records, exactly as in Section 3 of the paper: an operation
+/// op = <m, sigma1, sigma2, id> is a method name m together with a
+/// thread-local pre-stack (method arguments), a thread-local post-stack
+/// (return values), and a globally unique identifier.  Equality of
+/// operations throughout the model is equality of ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_OP_H
+#define PUSHPULL_CORE_OP_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// Values stored in stacks and passed to/returned from methods.
+using Value = int64_t;
+
+/// Globally unique operation identifier (the paper's `id` with fresh(id)).
+using OpId = uint64_t;
+
+/// Thread identifier.
+using TxId = unsigned;
+
+/// A thread-local stack sigma: a finite map from variable names to values.
+///
+/// The paper threads sigma through both the programming language (method
+/// arguments are read from it, results are bound into it) and the operation
+/// records themselves.
+class Stack {
+public:
+  Stack() = default;
+
+  /// Look up \p Var; nullopt when unbound.
+  std::optional<Value> get(const std::string &Var) const;
+
+  /// Look up \p Var; asserts it is bound.
+  Value getOrDie(const std::string &Var) const;
+
+  /// Return a copy of this stack with \p Var bound to \p V.
+  Stack bind(const std::string &Var, Value V) const;
+
+  /// In-place bind.
+  void set(const std::string &Var, Value V);
+
+  bool operator==(const Stack &O) const { return Vars == O.Vars; }
+  bool operator!=(const Stack &O) const { return !(*this == O); }
+
+  bool empty() const { return Vars.empty(); }
+  size_t size() const { return Vars.size(); }
+
+  /// Canonical printable form, e.g. "[a->5, x->1]".
+  std::string toString() const;
+
+  const std::map<std::string, Value> &entries() const { return Vars; }
+
+private:
+  std::map<std::string, Value> Vars;
+};
+
+/// A fully resolved method call: the shared object it targets, the method
+/// name, and concrete argument values.  This is the `m` of the paper once
+/// the thread's stack has been consulted for arguments.
+struct ResolvedCall {
+  std::string Object; ///< Which shared object, e.g. "set" or "x".
+  std::string Method; ///< Operation name, e.g. "add", "read", "write".
+  std::vector<Value> Args;
+
+  bool operator==(const ResolvedCall &O) const {
+    return Object == O.Object && Method == O.Method && Args == O.Args;
+  }
+  bool operator!=(const ResolvedCall &O) const { return !(*this == O); }
+
+  /// Printable form, e.g. "set.add(3)".
+  std::string toString() const;
+};
+
+/// An operation record op = <m, sigma1, sigma2, id>.
+///
+/// \c Call is the resolved method; \c Pre is the thread-local stack at the
+/// moment of application (the paper's sigma1, holding method arguments);
+/// \c Post is the stack afterwards (sigma2, holding any bound result).
+/// By convention a method's return value, when it has a result variable,
+/// appears in \c Post under that variable; \c result() extracts the raw
+/// return value independent of binding.
+struct Operation {
+  ResolvedCall Call;
+  Stack Pre;
+  Stack Post;
+  /// Raw return value of the call, if the method returns one.  Recorded
+  /// separately from Post so specs can judge allowed-ness even when the
+  /// program discards the result.
+  std::optional<Value> Result;
+  OpId Id = 0;
+
+  /// Identity in the model is id equality (Section 4: "Notations are all
+  /// lifted to lists where equality is given by ids").
+  bool sameIdAs(const Operation &O) const { return Id == O.Id; }
+
+  /// Printable form, e.g. "#7:set.add(3)=1".
+  std::string toString() const;
+};
+
+/// Monotonic source of fresh operation ids (the paper's fresh(id)).
+class OpIdSource {
+public:
+  OpId fresh() { return ++Last; }
+  OpId lastIssued() const { return Last; }
+
+private:
+  OpId Last = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_OP_H

@@ -1,0 +1,91 @@
+//===- core/Precongruence.cpp - Executable Definition 3.1 ------------------===//
+
+#include "core/Precongruence.h"
+
+#include <deque>
+
+using namespace pushpull;
+
+static std::string pairKey(const StateSet &S1, const StateSet &S2) {
+  return S1.key() + '\x1e' + S2.key();
+}
+
+PrecongruenceChecker::PrecongruenceChecker(const SequentialSpec &Spec,
+                                           PrecongruenceLimits Limits)
+    : Spec(Spec), Limits(Limits), Probes(Spec.probeOps()) {}
+
+Tri PrecongruenceChecker::check(const StateSet &S1, const StateSet &S2) {
+  // The coinductive rule unfolds to: l1 =< l2 fails iff some finite probe
+  // suffix w has allowed(l1.w) but not allowed(l2.w) — i.e. iff the pair
+  // graph reachable from ([[l1]], [[l2]]) under the probe alphabet
+  // contains a pair with a nonempty left and empty right component.  That
+  // makes the decision a plain reachability search:
+  //
+  //  * finding a violating pair is an exact No (finite witness);
+  //  * exhausting the reachable closure without one is an exact Yes (the
+  //    visited set is closed under the rule, hence inside the gfp);
+  //  * exhausting the pair budget first is Unknown.
+  std::string RootKey = pairKey(S1, S2);
+  if (KnownGood.count(RootKey))
+    return Tri::Yes;
+  if (KnownBad.count(RootKey))
+    return Tri::No;
+
+  std::unordered_set<std::string> Visited;
+  std::deque<std::pair<StateSet, StateSet>> Frontier;
+  Visited.insert(RootKey);
+  Frontier.push_back({S1, S2});
+  size_t Budget = Limits.MaxPairs;
+
+  while (!Frontier.empty()) {
+    auto [A, B] = std::move(Frontier.front());
+    Frontier.pop_front();
+
+    // Once the left log is disallowed it stays disallowed (the image of
+    // an empty set is empty), so nothing below this pair can violate.
+    if (A.empty())
+      continue;
+    // Subset inclusion is closed under extension (images are monotone),
+    // so no violation is reachable from an included pair.  This also
+    // covers the ubiquitous diagonal case A == B exactly.
+    if (A.subsetOf(B))
+      continue;
+    if (B.empty()) {
+      // Base violation: allowed(l1.w) but not allowed(l2.w).
+      KnownBad.insert(RootKey);
+      KnownBad.insert(pairKey(A, B));
+      return Tri::No;
+    }
+    std::string Key = pairKey(A, B);
+    if (KnownBad.count(Key)) {
+      KnownBad.insert(RootKey);
+      return Tri::No;
+    }
+    if (KnownGood.count(Key))
+      continue; // Everything reachable from here is already certified.
+
+    if (Budget == 0)
+      return Tri::Unknown;
+    --Budget;
+    ++PairsVisited;
+
+    for (const Operation &Op : Probes) {
+      StateSet N1 = Spec.applyOp(A, Op);
+      if (N1.empty())
+        continue; // Extension disallowed on the left: vacuous.
+      StateSet N2 = Spec.applyOp(B, Op);
+      if (Visited.insert(pairKey(N1, N2)).second)
+        Frontier.push_back({std::move(N1), std::move(N2)});
+    }
+  }
+
+  // The visited closure contains no violation and is closed under probe
+  // extension: promote it to the persistent Good cache.
+  KnownGood.insert(Visited.begin(), Visited.end());
+  return Tri::Yes;
+}
+
+Tri PrecongruenceChecker::checkLogs(const std::vector<Operation> &L1,
+                                    const std::vector<Operation> &L2) {
+  return check(Spec.denote(L1), Spec.denote(L2));
+}

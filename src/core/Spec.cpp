@@ -1,0 +1,88 @@
+//===- core/Spec.cpp - Sequential specifications ---------------------------===//
+
+#include "core/Spec.h"
+
+#include "support/Str.h"
+
+#include <algorithm>
+
+using namespace pushpull;
+
+StateSet StateSet::of(std::vector<State> States) {
+  std::sort(States.begin(), States.end());
+  States.erase(std::unique(States.begin(), States.end()), States.end());
+  StateSet Out;
+  Out.States = std::move(States);
+  return Out;
+}
+
+bool StateSet::subsetOf(const StateSet &O) const {
+  return std::includes(O.States.begin(), O.States.end(), States.begin(),
+                       States.end());
+}
+
+std::string StateSet::key() const {
+  std::string Out;
+  for (const State &S : States) {
+    Out += S;
+    Out += '\x1f';
+  }
+  return Out;
+}
+
+std::string StateSet::toString() const {
+  return "{" + join(States, " | ") + "}";
+}
+
+SequentialSpec::~SequentialSpec() = default;
+
+Tri SequentialSpec::leftMoverHint(const Operation &, const Operation &) const {
+  return Tri::Unknown;
+}
+
+StateSet SequentialSpec::initial() const {
+  return StateSet::of(initialStates());
+}
+
+StateSet SequentialSpec::applyOp(const StateSet &S, const Operation &Op) const {
+  std::vector<State> Out;
+  for (const State &St : S.states())
+    for (State &Succ : successors(St, Op))
+      Out.push_back(std::move(Succ));
+  return StateSet::of(std::move(Out));
+}
+
+StateSet SequentialSpec::denote(const std::vector<Operation> &Log) const {
+  return denoteFrom(initial(), Log);
+}
+
+StateSet SequentialSpec::denoteFrom(const StateSet &From,
+                                    const std::vector<Operation> &Log) const {
+  StateSet S = From;
+  for (const Operation &Op : Log) {
+    if (S.empty())
+      break;
+    S = applyOp(S, Op);
+  }
+  return S;
+}
+
+bool SequentialSpec::allowed(const std::vector<Operation> &Log) const {
+  return !denote(Log).empty();
+}
+
+bool SequentialSpec::allowsFrom(const StateSet &SOfLog,
+                                const Operation &Op) const {
+  return !applyOp(SOfLog, Op).empty();
+}
+
+std::vector<Completion>
+SequentialSpec::completionsFrom(const StateSet &S,
+                                const ResolvedCall &Call) const {
+  std::vector<Completion> Out;
+  for (const State &St : S.states())
+    for (const Completion &C : completions(St, Call))
+      if (std::find(Out.begin(), Out.end(), C) == Out.end())
+        Out.push_back(C);
+  return Out;
+}

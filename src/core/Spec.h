@@ -1,0 +1,156 @@
+//===- core/Spec.h - Sequential specifications ------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameter 3.1 of the paper: the sequential specification is a
+/// prefix-closed predicate `allowed l` on operation logs.  Following the
+/// paper's suggestion, allowed is induced by a denotation of operations as
+/// relations on states:
+///
+///   [[l . op]] = [[l]] ; [[op]]      [[eps]] = I      allowed l = ([[l]] != {})
+///
+/// A SequentialSpec supplies the initial states I and per-state successor
+/// computation; the denotation of a log is then a *state set*, and allowed
+/// is non-emptiness.  Specs also supply:
+///
+///  * completions: which results a method call may return from a state
+///    (used by APP and by the atomic machine's big-step reduction);
+///  * a finite probe alphabet for the executable coinductive checks
+///    (precongruence, Definition 3.1; left-mover, Definition 4.1);
+///  * an optional algebraic left-mover hint (e.g. "operations on different
+///    keys commute"), the executable form of the commutativity reasoning
+///    transactional boosting performs with abstract locks.
+///
+/// States are canonically encoded as strings so that state sets can be
+/// hashed and memoized by the fixpoint engines without the engines knowing
+/// anything about the particular specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_SPEC_H
+#define PUSHPULL_CORE_SPEC_H
+
+#include "core/Op.h"
+#include "support/Tri.h"
+
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// A canonical, spec-chosen encoding of one abstract state.
+using State = std::string;
+
+/// A finite set of states: the denotation of an operation log.
+///
+/// Kept sorted and deduplicated so that equal sets have equal keys; the
+/// precongruence fixpoint memoizes on \c key().
+class StateSet {
+public:
+  StateSet() = default;
+
+  /// Build from an arbitrary vector (sorts and dedups).
+  static StateSet of(std::vector<State> States);
+
+  bool empty() const { return States.empty(); }
+  size_t size() const { return States.size(); }
+  const std::vector<State> &states() const { return States; }
+
+  bool operator==(const StateSet &O) const { return States == O.States; }
+  bool operator!=(const StateSet &O) const { return !(*this == O); }
+
+  /// Is this set a subset of \p O?  (Both are sorted.)  Subset inclusion
+  /// of denotations implies log precongruence — the relation
+  /// {(S1,S2) | S1 c= S2} is closed under the rule of Definition 3.1
+  /// because images preserve inclusion — so checkers use this as an exact
+  /// shortcut.
+  bool subsetOf(const StateSet &O) const;
+
+  /// Canonical hashable key (states joined with an unprintable separator).
+  std::string key() const;
+
+  std::string toString() const;
+
+private:
+  std::vector<State> States;
+};
+
+/// One allowed way a method call can complete: the result it returns (if
+/// the method returns one).
+struct Completion {
+  std::optional<Value> Result;
+
+  bool operator==(const Completion &O) const { return Result == O.Result; }
+};
+
+/// Abstract base for sequential specifications (Parameter 3.1).
+class SequentialSpec {
+public:
+  virtual ~SequentialSpec();
+
+  /// Short diagnostic name, e.g. "set(u=4)".
+  virtual std::string name() const = 0;
+
+  /// The initial states I.
+  virtual std::vector<State> initialStates() const = 0;
+
+  /// Successor states of \p S under the fully resolved operation \p Op
+  /// (whose Result is fixed).  Empty means Op is not allowed at S.
+  virtual std::vector<State> successors(const State &S,
+                                        const Operation &Op) const = 0;
+
+  /// Allowed completions of method call \p Call from state \p S.  Empty
+  /// means the call is not allowed at S at all (specs where any call is
+  /// always *enabled* simply always return at least one completion).
+  virtual std::vector<Completion> completions(const State &S,
+                                              const ResolvedCall &Call)
+      const = 0;
+
+  /// A finite probe alphabet of fully resolved operations.  The executable
+  /// precongruence/left-mover checks quantify over this alphabet instead of
+  /// over all operations; specs must make it complete enough to distinguish
+  /// the states they can reach (tests cross-check this).
+  virtual std::vector<Operation> probeOps() const = 0;
+
+  /// Optional algebraic mover hint for "\p A can move to the left of \p B"
+  /// (Definition 4.1).  Tri::Unknown means "no opinion; fall back to the
+  /// semantic check".  Hints must be *sound*: tests cross-validate them
+  /// against the semantic decision procedure.
+  virtual Tri leftMoverHint(const Operation &A, const Operation &B) const;
+
+  // -- Derived, non-virtual helpers ---------------------------------------
+
+  /// The denotation of the empty log: the set of initial states.
+  StateSet initial() const;
+
+  /// [[S ; op]]: image of \p S under \p Op.
+  StateSet applyOp(const StateSet &S, const Operation &Op) const;
+
+  /// [[l]] starting from the initial states.
+  StateSet denote(const std::vector<Operation> &Log) const;
+
+  /// [[l]] starting from \p From.
+  StateSet denoteFrom(const StateSet &From,
+                      const std::vector<Operation> &Log) const;
+
+  /// allowed l  =  ([[l]] != {}).
+  bool allowed(const std::vector<Operation> &Log) const;
+
+  /// "l allows op"  =  allowed (l . op), evaluated incrementally from the
+  /// already-denoted state set \p SOfLog.
+  bool allowsFrom(const StateSet &SOfLog, const Operation &Op) const;
+
+  /// Union of completions of \p Call over all states in \p S, deduplicated.
+  /// A completion is allowed if *some* state admits it (allowed-ness is
+  /// non-emptiness of the denotation).
+  std::vector<Completion> completionsFrom(const StateSet &S,
+                                          const ResolvedCall &Call) const;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_SPEC_H

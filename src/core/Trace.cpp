@@ -1,0 +1,39 @@
+//===- core/Trace.cpp - Rule traces ----------------------------------------===//
+
+#include "core/Trace.h"
+
+using namespace pushpull;
+
+void RuleTrace::record(TraceEvent E) {
+  E.Seq = NextSeq++;
+  Events.push_back(std::move(E));
+}
+
+size_t RuleTrace::countOf(RuleKind K) const {
+  size_t N = 0;
+  for (const TraceEvent &E : Events)
+    if (E.Rule == K)
+      ++N;
+  return N;
+}
+
+std::vector<TraceEvent> RuleTrace::byThread(TxId T) const {
+  std::vector<TraceEvent> Out;
+  for (const TraceEvent &E : Events)
+    if (E.Tid == T)
+      Out.push_back(E);
+  return Out;
+}
+
+std::string RuleTrace::toString() const {
+  std::string Out;
+  for (const TraceEvent &E : Events) {
+    Out += "t" + std::to_string(E.Tid) + ": " + pushpull::toString(E.Rule);
+    if (!E.OpText.empty())
+      Out += "(" + E.OpText + ")";
+    if (E.PulledUncommitted)
+      Out += " [uncommitted]";
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- core/Trace.h - Rule traces -------------------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RuleTrace records the sequence of rule applications a machine run
+/// performed, in the style of the paper's Figure 7 ("PULL(...), APP(...),
+/// PUSH(...), ... CMT").  Traces drive the opacity checker, the rule-mix
+/// histograms of the Section 6 experiments, and test assertions about an
+/// algorithm's characteristic rule pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_CORE_TRACE_H
+#define PUSHPULL_CORE_TRACE_H
+
+#include "core/Criteria.h"
+#include "core/Op.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// One recorded rule application.
+struct TraceEvent {
+  TxId Tid = 0;
+  RuleKind Rule = RuleKind::App;
+  /// The operation the rule touched (0 for CMT).
+  OpId Id = 0;
+  /// Printable description of that operation (kept by value: the op itself
+  /// may later be removed from every log by UNPUSH/UNAPP).
+  std::string OpText;
+  /// For PULL events: was the pulled entry uncommitted at pull time?  This
+  /// is what the Section 6.1 opacity fragment is defined by.
+  bool PulledUncommitted = false;
+  /// Monotone global sequence number.
+  uint64_t Seq = 0;
+};
+
+/// An append-only record of rule applications across all threads.
+class RuleTrace {
+public:
+  void record(TraceEvent E);
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  bool empty() const { return Events.empty(); }
+  size_t size() const { return Events.size(); }
+
+  /// Number of events with the given rule kind.
+  size_t countOf(RuleKind K) const;
+
+  /// Events performed by thread \p T, in order.
+  std::vector<TraceEvent> byThread(TxId T) const;
+
+  /// Figure 7-style rendering: one "RULE(op)" line per event.
+  std::string toString() const;
+
+  void clear() { Events.clear(); }
+
+private:
+  std::vector<TraceEvent> Events;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_CORE_TRACE_H

@@ -1,0 +1,124 @@
+//===- lang/Ast.h - Transaction language AST --------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic input language of Example 1 of the paper:
+///
+///   c ::= c1 + c2 | c1 ; c2 | (c)* | skip | tx c | m
+///
+/// with nondeterministic choice (+), sequential composition (;),
+/// nondeterministic looping (*), the empty statement, transactions, and
+/// method calls m.  Method calls name a shared object and method, carry
+/// argument expressions (literals or thread-stack variables), and may bind
+/// their result to a stack variable.
+///
+/// Code values are immutable and shared; continuations produced by step()
+/// alias subtrees of the original program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_LANG_AST_H
+#define PUSHPULL_LANG_AST_H
+
+#include "core/Op.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pushpull {
+
+class Code;
+/// Immutable shared handle to a code tree.
+using CodePtr = std::shared_ptr<const Code>;
+
+/// A method-call argument: either a literal value or a thread-stack
+/// variable resolved at APP time.
+using Arg = std::variant<Value, std::string>;
+
+/// An unresolved method call as it appears in program text, e.g.
+/// "v := map.get(k)".
+struct MethodExpr {
+  std::string Object;
+  std::string Method;
+  std::vector<Arg> Args;
+  /// Variable the result is bound to, if any.
+  std::optional<std::string> ResultVar;
+
+  /// Resolve argument expressions against \p Sigma.  Returns nullopt when
+  /// an argument variable is unbound (the call is then not executable).
+  std::optional<ResolvedCall> resolve(const Stack &Sigma) const;
+
+  std::string toString() const;
+};
+
+/// Node discriminator for Code.
+enum class CodeKind {
+  Skip,   ///< skip
+  Call,   ///< m
+  Seq,    ///< c1 ; c2
+  Choice, ///< c1 + c2
+  Loop,   ///< (c)*
+  Tx,     ///< tx c
+};
+
+/// One immutable node of the code tree.  Construct via the factory
+/// functions below; fields not meaningful for a kind are empty.
+class Code {
+public:
+  CodeKind kind() const { return Kind; }
+
+  /// The call payload; valid only for CodeKind::Call.
+  const MethodExpr &call() const;
+  /// Left child; valid for Seq and Choice.
+  const CodePtr &lhs() const;
+  /// Right child; valid for Seq and Choice.
+  const CodePtr &rhs() const;
+  /// Body; valid for Loop and Tx.
+  const CodePtr &body() const;
+
+  /// Structural (not pointer) equality.
+  bool equals(const Code &O) const;
+
+  // Factories.
+  static CodePtr makeSkip();
+  static CodePtr makeCall(MethodExpr M);
+  static CodePtr makeSeq(CodePtr L, CodePtr R);
+  static CodePtr makeChoice(CodePtr L, CodePtr R);
+  static CodePtr makeLoop(CodePtr B);
+  static CodePtr makeTx(CodePtr B);
+
+private:
+  explicit Code(CodeKind K) : Kind(K) {}
+
+  CodeKind Kind;
+  MethodExpr Call;
+  CodePtr Lhs, Rhs, Body;
+};
+
+/// Convenience free-function aliases for building programs fluently.
+/// \{
+CodePtr skip();
+CodePtr call(std::string Object, std::string Method,
+             std::vector<Arg> Args = {},
+             std::optional<std::string> ResultVar = std::nullopt);
+CodePtr seq(CodePtr L, CodePtr R);
+/// Right-nested sequence of all of \p Cs (skip when empty).
+CodePtr seqAll(std::vector<CodePtr> Cs);
+CodePtr choice(CodePtr L, CodePtr R);
+CodePtr loop(CodePtr B);
+CodePtr tx(CodePtr B);
+/// \}
+
+/// Structural equality on possibly-null code handles.
+bool codeEquals(const CodePtr &A, const CodePtr &B);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_LANG_AST_H

@@ -1,0 +1,53 @@
+//===- lang/Printer.cpp - Code pretty-printer ------------------------------===//
+
+#include "lang/Printer.h"
+
+#include <cassert>
+
+using namespace pushpull;
+
+namespace {
+
+/// Binding strength: Choice < Seq < Postfix(*) < Atom.
+enum Prec { PrecChoice = 0, PrecSeq = 1, PrecPostfix = 2, PrecAtom = 3 };
+
+std::string printAt(const CodePtr &C, int Ambient) {
+  assert(C && "printing null code");
+  std::string Body;
+  int Mine = PrecAtom;
+  switch (C->kind()) {
+  case CodeKind::Skip:
+    Body = "skip";
+    break;
+  case CodeKind::Call:
+    Body = C->call().toString();
+    break;
+  case CodeKind::Seq:
+    // The parser associates ';' to the left, so a right-nested right
+    // child needs parentheses to round-trip structurally.
+    Mine = PrecSeq;
+    Body = printAt(C->lhs(), PrecSeq) + "; " + printAt(C->rhs(), PrecSeq + 1);
+    break;
+  case CodeKind::Choice:
+    Mine = PrecChoice;
+    Body = printAt(C->lhs(), PrecChoice) + " + " +
+           printAt(C->rhs(), PrecChoice + 1);
+    break;
+  case CodeKind::Loop:
+    Mine = PrecPostfix;
+    Body = printAt(C->body(), PrecAtom) + "*";
+    break;
+  case CodeKind::Tx:
+    Body = "tx { " + printAt(C->body(), PrecChoice) + " }";
+    break;
+  }
+  if (Mine < Ambient)
+    return "(" + Body + ")";
+  return Body;
+}
+
+} // namespace
+
+std::string pushpull::printCode(const CodePtr &C) {
+  return printAt(C, PrecChoice);
+}

@@ -1,0 +1,29 @@
+//===- lang/Printer.h - Code pretty-printer ---------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Render code trees back into the concrete syntax accepted by the parser,
+/// so printed programs round-trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_LANG_PRINTER_H
+#define PUSHPULL_LANG_PRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace pushpull {
+
+/// Render \p C in the concrete syntax of the parser; parenthesised only
+/// where precedence requires it.
+std::string printCode(const CodePtr &C);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_LANG_PRINTER_H

@@ -1,0 +1,91 @@
+//===- lang/StepFin.cpp - step() and fin() ---------------------------------===//
+
+#include "lang/StepFin.h"
+
+#include <cassert>
+
+using namespace pushpull;
+
+std::vector<StepItem> pushpull::step(const CodePtr &C) {
+  assert(C && "step of null code");
+  std::vector<StepItem> Out;
+  switch (C->kind()) {
+  case CodeKind::Skip:
+    break;
+  case CodeKind::Call:
+    Out.push_back({C->call(), skip()});
+    break;
+  case CodeKind::Seq: {
+    // step(c1 ; c2) = (step(c1) ; c2) u (fin(c1) ; step(c2))
+    for (StepItem &It : step(C->lhs()))
+      Out.push_back({std::move(It.Call), seq(std::move(It.Rest), C->rhs())});
+    if (fin(C->lhs()))
+      for (StepItem &It : step(C->rhs()))
+        Out.push_back(std::move(It));
+    break;
+  }
+  case CodeKind::Choice: {
+    for (StepItem &It : step(C->lhs()))
+      Out.push_back(std::move(It));
+    for (StepItem &It : step(C->rhs()))
+      Out.push_back(std::move(It));
+    break;
+  }
+  case CodeKind::Loop: {
+    // step((c)*) = step(c) ; (c)*
+    for (StepItem &It : step(C->body()))
+      Out.push_back({std::move(It.Call), seq(std::move(It.Rest), C)});
+    break;
+  }
+  case CodeKind::Tx:
+    Out = step(C->body());
+    break;
+  }
+  return Out;
+}
+
+bool pushpull::fin(const CodePtr &C) {
+  assert(C && "fin of null code");
+  switch (C->kind()) {
+  case CodeKind::Skip:
+    return true;
+  case CodeKind::Call:
+    return false;
+  case CodeKind::Seq:
+    return fin(C->lhs()) && fin(C->rhs());
+  case CodeKind::Choice:
+    return fin(C->lhs()) || fin(C->rhs());
+  case CodeKind::Loop:
+    return true;
+  case CodeKind::Tx:
+    return fin(C->body());
+  }
+  return false;
+}
+
+static void collectMethods(const CodePtr &C, std::vector<MethodExpr> &Out) {
+  switch (C->kind()) {
+  case CodeKind::Skip:
+    return;
+  case CodeKind::Call:
+    Out.push_back(C->call());
+    return;
+  case CodeKind::Seq:
+  case CodeKind::Choice:
+    collectMethods(C->lhs(), Out);
+    collectMethods(C->rhs(), Out);
+    return;
+  case CodeKind::Loop:
+  case CodeKind::Tx:
+    collectMethods(C->body(), Out);
+    return;
+  }
+}
+
+std::vector<MethodExpr> pushpull::reachableMethods(const CodePtr &C) {
+  // Every method in the step()-closure of continuations is a syntactic
+  // subterm of C, so a subterm walk computes exactly the reachable set.
+  std::vector<MethodExpr> Out;
+  collectMethods(C, Out);
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- lang/StepFin.h - step() and fin() ------------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two language-abstraction functions (Section 3):
+///
+///   step(c): the set of pairs (m, c') such that m is a next reachable
+///            method in the reduction of c, with remaining code c'.
+///   fin(c):  true iff there is a reduction of c to skip that encounters
+///            no method call.
+///
+/// Instantiated for the generic language of Example 1:
+///
+///   step(skip)    = {}                 fin(skip)    = true
+///   step(c1;c2)   = (step(c1);c2)      fin(c1;c2)   = fin(c1) /\ fin(c2)
+///                 u (fin(c1);step(c2))
+///   step(c1+c2)   = step(c1)u step(c2) fin(c1+c2)   = fin(c1) \/ fin(c2)
+///   step((c)*)    = step(c);(c)*       fin((c)*)    = true
+///   step(tx c)    = step(c)            fin(tx c)    = fin(c)
+///   step(m)       = {(m, skip)}        fin(m)       = false
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_LANG_STEPFIN_H
+#define PUSHPULL_LANG_STEPFIN_H
+
+#include "lang/Ast.h"
+
+#include <vector>
+
+namespace pushpull {
+
+/// One element of step(c): a next reachable method and its continuation.
+struct StepItem {
+  MethodExpr Call;
+  CodePtr Rest;
+};
+
+/// Compute step(c).  The result is finite for every finite code tree; loop
+/// bodies contribute one unrolling per call site (step((c)*) = step(c);(c)*).
+std::vector<StepItem> step(const CodePtr &C);
+
+/// Compute fin(c): can c reduce to skip without encountering a method?
+bool fin(const CodePtr &C);
+
+/// All method expressions syntactically reachable in c (the closure of
+/// step() over all continuations).  Used by the opacity checker's
+/// commutation-based relaxation (Section 6.1: a transaction may PULL an
+/// uncommitted op m' if no reachable method fails to commute with m').
+std::vector<MethodExpr> reachableMethods(const CodePtr &C);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_LANG_STEPFIN_H

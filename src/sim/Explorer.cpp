@@ -1,0 +1,198 @@
+//===- sim/Explorer.cpp - Exhaustive interleaving explorer ------------------===//
+
+#include "sim/Explorer.h"
+
+#include "core/Invariants.h"
+#include "lang/Printer.h"
+
+using namespace pushpull;
+
+Explorer::Explorer(const SequentialSpec &Spec, MoverChecker &Movers,
+                   ExplorerConfig Config)
+    : Spec(Spec), Movers(Movers), Config(Config), Oracle(Spec) {}
+
+std::string Explorer::configKey(const PushPullMachine &M) {
+  // Operation ids differ between branches that apply "the same" operation,
+  // so the key renders operations by call/result and logs by structure.
+  std::string Out;
+  for (const ThreadState &Th : M.threads()) {
+    Out += Th.InTx ? "T:" + printCode(Th.Code) : std::string("idle");
+    Out += '\x01';
+    Out += Th.Sigma.toString();
+    Out += '\x01';
+    for (const LocalEntry &E : Th.L.entries()) {
+      Out += E.Op.Call.toString();
+      if (E.Op.Result)
+        Out += "=" + std::to_string(*E.Op.Result);
+      Out += toString(E.Kind);
+      // Position of this op in G links L and G structurally.
+      size_t GI = M.global().indexOf(E.Op.Id);
+      Out += GI == GlobalLog::npos ? std::string("-")
+                                   : std::to_string(GI);
+      Out += ';';
+    }
+    Out += std::to_string(Th.Pending.size());
+    Out += '\x02';
+  }
+  for (const GlobalEntry &E : M.global().entries()) {
+    Out += E.Op.Call.toString();
+    if (E.Op.Result)
+      Out += "=" + std::to_string(*E.Op.Result);
+    Out += E.Kind == GlobalKind::Committed ? "C" : "U";
+    Out += std::to_string(E.Owner);
+    Out += ';';
+  }
+  return Out;
+}
+
+ExplorerReport
+Explorer::explore(const std::vector<std::vector<CodePtr>> &Programs) {
+  PushPullMachine M(Spec, Movers, Config.Machine);
+  for (const auto &P : Programs)
+    M.addThread(P);
+
+  Visited.clear();
+  ExplorerReport Report;
+  visit(std::move(M), 0, Report);
+  return Report;
+}
+
+void Explorer::visit(PushPullMachine M, size_t Depth,
+                     ExplorerReport &Report) {
+  if (Report.ConfigsVisited >= Config.MaxConfigs || Depth > Config.MaxDepth) {
+    Report.Truncated = true;
+    return;
+  }
+  std::string Key = configKey(M);
+  auto [It, Fresh] = Visited.try_emplace(Key, Depth);
+  if (!Fresh) {
+    if (It->second <= Depth)
+      return;
+    // Previously reached only deeper (with part of its subtree possibly
+    // depth-pruned): re-explore from this shallower position.  The
+    // per-config accounting (visit count, invariants, terminal verdicts)
+    // already happened on the first visit.
+    It->second = Depth;
+  } else {
+    ++Report.ConfigsVisited;
+  }
+
+  if (Config.CheckInvariants && Fresh) {
+    for (const ThreadState &Th : M.threads()) {
+      InvariantReport IR = checkAllInvariants(Th, M.global(), Movers);
+      if (!IR.Holds) {
+        ++Report.InvariantViolations;
+        if (Report.FirstFailure.empty())
+          Report.FirstFailure = IR.Which + ": " + IR.Detail;
+      }
+    }
+  }
+
+  if (M.quiescent()) {
+    if (!Fresh)
+      return;
+    ++Report.TerminalConfigs;
+    SerializabilityVerdict V = Oracle.checkCommitOrder(M);
+    if (V.Serializable != Tri::Yes) {
+      ++Report.NonSerializable;
+      if (Report.FirstFailure.empty()) {
+        Report.FirstFailure =
+            "non-serializable terminal: " + V.Detail + "\n" + M.toString();
+        for (const CommittedTx &C : M.committed())
+          Report.FirstFailure += "  commit[" + std::to_string(C.CommitSeq) +
+                                 "] t" + std::to_string(C.Tid) + ": " +
+                                 printCode(C.Body) + " start=" +
+                                 C.Sigma.toString() + " final=" +
+                                 C.FinalSigma.toString() + "\n";
+        Report.FirstFailure += "  trace:\n" + M.trace().toString();
+      }
+    }
+    return;
+  }
+
+  // Enumerate every enabled move from this configuration.
+  auto Recurse = [&](PushPullMachine Next) {
+    ++Report.RuleApplications;
+    visit(std::move(Next), Depth + 1, Report);
+  };
+
+  for (const ThreadState &Th : M.threads()) {
+    TxId T = Th.Tid;
+
+    if (!Th.InTx) {
+      if (!Th.Pending.empty()) {
+        PushPullMachine Next = M;
+        if (Next.beginTx(T))
+          Recurse(std::move(Next));
+      }
+      continue;
+    }
+
+    // APP: every (step choice, completion) pair.
+    for (const AppChoice &Choice : M.appChoices(T))
+      for (size_t CI = 0; CI < Choice.Completions.size(); ++CI) {
+        PushPullMachine Next = M;
+        if (Next.app(T, Choice.StepIdx, CI).Applied)
+          Recurse(std::move(Next));
+        else
+          ++Report.RejectedAttempts;
+      }
+
+    // PUSH every npshd entry.
+    for (size_t I : Th.L.indicesOf(LocalKind::NotPushed)) {
+      PushPullMachine Next = M;
+      if (Next.push(T, I).Applied)
+        Recurse(std::move(Next));
+      else
+        ++Report.RejectedAttempts;
+    }
+
+    // PULL every global entry not in L (respecting the opacity toggle).
+    for (size_t GI = 0; GI < M.global().size(); ++GI) {
+      const GlobalEntry &GE = M.global()[GI];
+      if (Th.L.contains(GE.Op.Id))
+        continue;
+      if (!Config.ExploreUncommittedPulls &&
+          GE.Kind == GlobalKind::Uncommitted)
+        continue;
+      PushPullMachine Next = M;
+      if (Next.pull(T, GI).Applied)
+        Recurse(std::move(Next));
+      else
+        ++Report.RejectedAttempts;
+    }
+
+    // CMT.
+    {
+      PushPullMachine Next = M;
+      if (Next.commit(T).Applied)
+        Recurse(std::move(Next));
+      else
+        ++Report.RejectedAttempts;
+    }
+
+    if (Config.ExploreBackwardRules) {
+      {
+        PushPullMachine Next = M;
+        if (Next.unapp(T).Applied)
+          Recurse(std::move(Next));
+        else
+          ++Report.RejectedAttempts;
+      }
+      for (size_t I : Th.L.indicesOf(LocalKind::Pushed)) {
+        PushPullMachine Next = M;
+        if (Next.unpush(T, I).Applied)
+          Recurse(std::move(Next));
+        else
+          ++Report.RejectedAttempts;
+      }
+      for (size_t I : Th.L.indicesOf(LocalKind::Pulled)) {
+        PushPullMachine Next = M;
+        if (Next.unpull(T, I).Applied)
+          Recurse(std::move(Next));
+        else
+          ++Report.RejectedAttempts;
+      }
+    }
+  }
+}

@@ -1,0 +1,107 @@
+//===- sim/Scenario.h - Declarative experiment scenarios --------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative format for describing a complete experiment — the
+/// specification(s), the TM engine, the schedule, the thread programs,
+/// and the checks to run — so scenarios can live in text files and be
+/// driven by the `pprun` tool (or constructed programmatically in tests):
+///
+///   # Figure 2, in scenario form.
+///   spec map name=map keys=8 vals=4
+///   engine boosting seed=42
+///   schedule random seed=7 maxsteps=100000
+///   thread tx { a := map.put(1, 2) }; tx { b := map.get(1) }
+///   thread tx { c := map.put(1, 3) }
+///   check serializability
+///   check opacity
+///
+/// Multiple `spec` lines compose into a CompositeSpec (the Section 7
+/// mixture).  Supported specs: register, counter, set, map, queue, bank.
+/// Supported engines: optimistic, checkpoint, boosting, pessimistic,
+/// irrevocable, dependent, early-release, htm, htm-word, hybrid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SIM_SCENARIO_H
+#define PUSHPULL_SIM_SCENARIO_H
+
+#include "core/Machine.h"
+#include "sim/Scheduler.h"
+#include "sim/Stats.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+class TMEngine;
+
+/// A parsed scenario, ready to run.
+struct Scenario {
+  /// The composed specification (single part or composite).
+  std::shared_ptr<const SequentialSpec> Spec;
+  /// Engine selector (one of the names above).
+  std::string Engine = "optimistic";
+  /// Engine key=value options (seed, deadlock, abort%, conflict%, htm=...).
+  std::map<std::string, std::string> EngineOpts;
+  /// Scheduler policy ("random", "roundrobin", or "pct"), seed, step
+  /// budget, and PCT change-point count.
+  SchedulePolicy Policy = SchedulePolicy::RandomUniform;
+  uint64_t ScheduleSeed = 1;
+  uint64_t MaxSteps = 200000;
+  unsigned ChangePoints = 3;
+  /// Per-thread transaction sequences.
+  std::vector<std::vector<CodePtr>> Threads;
+  /// Requested checks: "serializability", "serializability-any",
+  /// "opacity", "invariants".
+  std::vector<std::string> Checks;
+};
+
+/// Parse outcome.
+struct ScenarioParseResult {
+  std::unique_ptr<Scenario> Parsed;
+  std::string Error;
+  size_t ErrorLine = 0;
+
+  bool ok() const { return Parsed != nullptr; }
+};
+
+/// Parse the scenario text format.  Never throws.
+ScenarioParseResult parseScenario(const std::string &Text);
+
+/// Split a thread program `tx {..}; tx {..}; ...` into its transaction
+/// list.  Returns empty (and sets Error) if a method occurs outside a
+/// transaction (the paper's well-formedness condition).
+std::vector<CodePtr> flattenTransactions(const CodePtr &C,
+                                         std::string &Error);
+
+/// Result of running a scenario.
+struct ScenarioOutcome {
+  RunStats Stats;
+  /// Verdicts of the requested checks, as "name: verdict" lines.
+  std::vector<std::string> CheckResults;
+  /// The run's rule trace rendering.
+  std::string Trace;
+  /// The criteria audit: every applied rule with per-criterion verdicts
+  /// (the machine-checked discharge record of the paper's
+  /// side-conditions).
+  std::string Audit;
+  /// Final committed shared log rendering.
+  std::string CommittedLog;
+  /// True iff the run finished and every check passed.
+  bool Ok = false;
+};
+
+/// Build the machine and engine, run to quiescence, perform the checks.
+ScenarioOutcome runScenario(const Scenario &S);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SIM_SCENARIO_H

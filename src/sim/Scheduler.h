@@ -1,0 +1,66 @@
+//===- sim/Scheduler.h - Interleaving scheduler -----------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a TM engine over the PUSH/PULL machine, interleaving threads
+/// under a policy (round-robin or seeded-random).  The machine's MS_SELECT
+/// nondeterminism is exactly the scheduler's thread choice; engine steps
+/// are the grain of interleaving.  A run ends when every thread finishes
+/// or the step budget is exhausted (livelock guard: the budget, not the
+/// model, bounds retries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SIM_SCHEDULER_H
+#define PUSHPULL_SIM_SCHEDULER_H
+
+#include "sim/Stats.h"
+#include "support/Rng.h"
+#include "tm/Engine.h"
+
+namespace pushpull {
+
+/// Thread-selection policy.
+enum class SchedulePolicy {
+  RoundRobin,
+  RandomUniform,
+  /// PCT-style priority scheduling (Burckhardt et al.): each thread gets
+  /// a random priority; the runnable thread with the highest priority
+  /// always runs, except at a few random change points where a priority
+  /// drops to the bottom.  Probabilistically good at driving rare
+  /// orderings that uniform-random scheduling misses.
+  PriorityChangePoints,
+};
+
+/// Scheduler knobs.
+struct SchedulerConfig {
+  SchedulePolicy Policy = SchedulePolicy::RandomUniform;
+  uint64_t Seed = 1;
+  /// Abort the run (leaving Quiescent=false) after this many steps.
+  uint64_t MaxSteps = 1000000;
+  /// For PriorityChangePoints: how many priority-drop points to scatter
+  /// over the run (the PCT depth parameter d-1).
+  unsigned ChangePoints = 3;
+};
+
+/// Runs one engine to quiescence (or budget exhaustion).
+class Scheduler {
+public:
+  explicit Scheduler(SchedulerConfig Config = {}) : Config(Config) {}
+
+  /// Drive \p E until its machine is quiescent.  Returns the aggregated
+  /// statistics (including the engine's abort count and the machine's
+  /// trace histogram).
+  RunStats run(TMEngine &E);
+
+private:
+  SchedulerConfig Config;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SIM_SCHEDULER_H

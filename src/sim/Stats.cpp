@@ -1,0 +1,42 @@
+//===- sim/Stats.cpp - Run statistics ---------------------------------------===//
+
+#include "sim/Stats.h"
+
+using namespace pushpull;
+
+double RunStats::committedOpsPerStep() const {
+  if (SchedulerSteps == 0)
+    return 0;
+  return static_cast<double>(CommittedOps) /
+         static_cast<double>(SchedulerSteps);
+}
+
+double RunStats::abortRatio() const {
+  uint64_t Total = Commits + Aborts;
+  if (Total == 0)
+    return 0;
+  return static_cast<double>(Aborts) / static_cast<double>(Total);
+}
+
+void RunStats::absorbTrace(const RuleTrace &T) {
+  for (const TraceEvent &E : T.events())
+    ++RuleCounts[static_cast<int>(E.Rule)];
+}
+
+std::string RunStats::toString() const {
+  std::string Out = "steps=" + std::to_string(SchedulerSteps) +
+                    " blocked=" + std::to_string(BlockedSteps) +
+                    " commits=" + std::to_string(Commits) +
+                    " aborts=" + std::to_string(Aborts) + " rules[";
+  static const RuleKind Kinds[] = {
+      RuleKind::App,  RuleKind::UnApp,  RuleKind::Push,  RuleKind::UnPush,
+      RuleKind::Pull, RuleKind::UnPull, RuleKind::Commit};
+  for (size_t I = 0; I < 7; ++I) {
+    if (I)
+      Out += " ";
+    Out += pushpull::toString(Kinds[I]) + "=" +
+           std::to_string(ruleCount(Kinds[I]));
+  }
+  Out += "] committedOps=" + std::to_string(CommittedOps);
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- sim/Stats.h - Run statistics -----------------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics gathered from a scheduled run: rule-mix histogram (the
+/// observable signature distinguishing the Section 6 algorithm families),
+/// commits, aborts, blocked steps, and the committed-operations throughput
+/// proxy used by the contention sweeps (E10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SIM_STATS_H
+#define PUSHPULL_SIM_STATS_H
+
+#include "core/Trace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pushpull {
+
+/// Aggregated counters for one run.
+struct RunStats {
+  uint64_t SchedulerSteps = 0;
+  uint64_t BlockedSteps = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  /// Rule-mix histogram, indexed by RuleKind.
+  uint64_t RuleCounts[7] = {};
+  /// Operations in the final committed log.
+  uint64_t CommittedOps = 0;
+  /// True iff every thread finished within the step budget.
+  bool Quiescent = false;
+
+  uint64_t ruleCount(RuleKind K) const {
+    return RuleCounts[static_cast<int>(K)];
+  }
+
+  /// Committed operations per scheduler step — the throughput proxy.
+  double committedOpsPerStep() const;
+
+  /// Abort ratio: aborts / (commits + aborts).
+  double abortRatio() const;
+
+  /// Fill the rule histogram from a trace.
+  void absorbTrace(const RuleTrace &T);
+
+  /// One-line rendering for bench output.
+  std::string toString() const;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SIM_STATS_H

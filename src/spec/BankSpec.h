@@ -1,0 +1,79 @@
+//===- spec/BankSpec.h - Bank accounts (mixed commutativity) ----*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic transactional-memory motivating example: bank accounts.
+/// Its commutativity structure is richer than the set/map specs and
+/// exercises the mover machinery's *conditional* cases:
+///
+///   deposit(a, k)       -> no result; always succeeds (blind, commutes
+///                          with every deposit and any-account withdraw
+///                          that still succeeds — decided semantically)
+///   withdraw(a, k)      -> 1 on success, 0 on insufficient funds
+///                          (success/failure is balance-dependent, so two
+///                          withdraws on one account commute only in
+///                          states where both still succeed)
+///   balance(a)          -> current balance (observes; commutes with
+///                          nothing that changes a's balance)
+///   transfer(a, b, k)   -> 1 on success, 0 on insufficient funds
+///
+/// Balances are capped (deposits clamp at Cap) to keep the state space
+/// finite for the exact coinductive checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SPEC_BANKSPEC_H
+#define PUSHPULL_SPEC_BANKSPEC_H
+
+#include "core/Spec.h"
+
+namespace pushpull {
+
+/// \p NumAccounts accounts with balances in [0, Cap].
+class BankSpec : public SequentialSpec {
+public:
+  BankSpec(std::string Object, unsigned NumAccounts, unsigned Cap,
+           unsigned InitialBalance = 0);
+
+  std::string name() const override;
+  std::vector<State> initialStates() const override;
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override;
+  std::vector<Completion> completions(const State &S,
+                                      const ResolvedCall &Call)
+      const override;
+  std::vector<Operation> probeOps() const override;
+
+  /// Hints: different-account single-account ops commute; transfers are
+  /// left to the semantic engine (they touch two accounts and their
+  /// success is state-dependent); same-account pairs are decided exactly
+  /// by per-account simulation when neither side is a transfer.
+  Tri leftMoverHint(const Operation &A, const Operation &B) const override;
+
+  const std::string &object() const { return Object; }
+  unsigned numAccounts() const { return NumAccounts; }
+  unsigned cap() const { return Cap; }
+
+private:
+  std::vector<Value> decode(const State &S) const;
+  State encode(const std::vector<Value> &B) const;
+  bool validAccount(Value A) const;
+  bool touchesOneAccount(const Operation &Op) const;
+  /// Per-account transition for the single-account methods; nullopt when
+  /// disallowed (result contradiction).
+  std::optional<Value> applyOneAccount(Value Balance,
+                                       const Operation &Op) const;
+
+  std::string Object;
+  unsigned NumAccounts;
+  unsigned Cap;
+  unsigned InitialBalance;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SPEC_BANKSPEC_H

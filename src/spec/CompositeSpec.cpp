@@ -1,0 +1,119 @@
+//===- spec/CompositeSpec.cpp - Disjoint products of specs ------------------===//
+
+#include "spec/CompositeSpec.h"
+
+#include <cassert>
+
+using namespace pushpull;
+
+// Composite state encoding: sub-states joined with '\x1c' (sub-encodings
+// never contain it).
+
+void CompositeSpec::add(std::string Object,
+                        std::shared_ptr<const SequentialSpec> Part) {
+  assert(Part && "null sub-spec");
+  assert(partFor(Object) == npos && "duplicate object in composite");
+  Objects.push_back(std::move(Object));
+  Parts.push_back(std::move(Part));
+}
+
+size_t CompositeSpec::partFor(const std::string &Object) const {
+  for (size_t I = 0; I < Objects.size(); ++I)
+    if (Objects[I] == Object)
+      return I;
+  return npos;
+}
+
+std::vector<std::string> CompositeSpec::split(const State &S) const {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == '\x1c') {
+      Out.push_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  assert(Out.size() == Parts.size() && "malformed composite state");
+  return Out;
+}
+
+State CompositeSpec::joinParts(const std::vector<std::string> &Sub) const {
+  State Out;
+  for (size_t I = 0; I < Sub.size(); ++I) {
+    if (I)
+      Out += '\x1c';
+    Out += Sub[I];
+  }
+  return Out;
+}
+
+std::string CompositeSpec::name() const {
+  std::string Out = "composite(";
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += " x ";
+    Out += Parts[I]->name();
+  }
+  return Out + ")";
+}
+
+std::vector<State> CompositeSpec::initialStates() const {
+  assert(!Parts.empty() && "empty composite");
+  // Cartesian product of the parts' initial states.
+  std::vector<std::vector<std::string>> Tuples = {{}};
+  for (const auto &Part : Parts) {
+    std::vector<std::vector<std::string>> Next;
+    for (const State &PS : Part->initialStates())
+      for (const auto &T : Tuples) {
+        auto Ext = T;
+        Ext.push_back(PS);
+        Next.push_back(std::move(Ext));
+      }
+    Tuples = std::move(Next);
+  }
+  std::vector<State> Out;
+  for (const auto &T : Tuples)
+    Out.push_back(joinParts(T));
+  return Out;
+}
+
+std::vector<State> CompositeSpec::successors(const State &S,
+                                             const Operation &Op) const {
+  size_t P = partFor(Op.Call.Object);
+  if (P == npos)
+    return {};
+  std::vector<std::string> Sub = split(S);
+  std::vector<State> Out;
+  for (State &N : Parts[P]->successors(Sub[P], Op)) {
+    std::vector<std::string> NewSub = Sub;
+    NewSub[P] = std::move(N);
+    Out.push_back(joinParts(NewSub));
+  }
+  return Out;
+}
+
+std::vector<Completion>
+CompositeSpec::completions(const State &S, const ResolvedCall &Call) const {
+  size_t P = partFor(Call.Object);
+  if (P == npos)
+    return {};
+  return Parts[P]->completions(split(S)[P], Call);
+}
+
+std::vector<Operation> CompositeSpec::probeOps() const {
+  std::vector<Operation> Out;
+  for (const auto &Part : Parts)
+    for (Operation &Op : Part->probeOps())
+      Out.push_back(std::move(Op));
+  return Out;
+}
+
+Tri CompositeSpec::leftMoverHint(const Operation &A,
+                                 const Operation &B) const {
+  if (A.Call.Object != B.Call.Object)
+    return Tri::Yes; // Disjoint components always commute.
+  size_t P = partFor(A.Call.Object);
+  if (P == npos)
+    return Tri::Unknown;
+  return Parts[P]->leftMoverHint(A, B);
+}

@@ -1,0 +1,68 @@
+//===- spec/CompositeSpec.h - Disjoint products of specs --------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disjoint product of named sub-specifications: the Section 7 system
+/// mixes a boosted skiplist, a boosted hashtable, and HTM-controlled
+/// integers inside one transaction, so the shared log interleaves
+/// operations of several objects.  Composite states are tuples of
+/// sub-states; operations route to the sub-spec owning their object;
+/// operations on different objects always commute (the product is
+/// disjoint), and same-object moverness delegates to the sub-spec's hint.
+///
+/// Note the probe alphabet is the *union* of the parts' alphabets, so the
+/// composite's reachable state-set space is the product of the parts' —
+/// keep parts small when exactness matters (bench_mover measures this
+/// growth; it is the cost the paper's uniform treatment buys).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SPEC_COMPOSITESPEC_H
+#define PUSHPULL_SPEC_COMPOSITESPEC_H
+
+#include "core/Spec.h"
+
+#include <memory>
+
+namespace pushpull {
+
+/// Product of independently named sub-specs.
+class CompositeSpec : public SequentialSpec {
+public:
+  CompositeSpec() = default;
+
+  /// Register \p Part as the owner of operations on \p Object.  Objects
+  /// must be distinct; parts judge only calls naming their object.
+  void add(std::string Object, std::shared_ptr<const SequentialSpec> Part);
+
+  std::string name() const override;
+  std::vector<State> initialStates() const override;
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override;
+  std::vector<Completion> completions(const State &S,
+                                      const ResolvedCall &Call)
+      const override;
+  std::vector<Operation> probeOps() const override;
+  Tri leftMoverHint(const Operation &A, const Operation &B) const override;
+
+  size_t partCount() const { return Parts.size(); }
+
+private:
+  /// Index of the part owning \p Object, or npos.
+  size_t partFor(const std::string &Object) const;
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  std::vector<std::string> split(const State &S) const;
+  State joinParts(const std::vector<std::string> &Sub) const;
+
+  std::vector<std::string> Objects;
+  std::vector<std::shared_ptr<const SequentialSpec>> Parts;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SPEC_COMPOSITESPEC_H

@@ -1,0 +1,66 @@
+//===- spec/CounterSpec.h - Commutative counters ----------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters with modular arithmetic — the "HTM int size, x, y" variables
+/// of the Section 7 example.  Methods:
+///
+///   inc(i)     -> new value       dec(i) -> new value
+///   add(i, k)  -> new value       read(i) -> current value
+///
+/// Increments on the same counter commute with each other (their hints say
+/// so algebraically) but not with reads — the classic boosting example.
+/// Arithmetic is modulo a configured modulus so the state space stays
+/// finite and the coinductive checks stay exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SPEC_COUNTERSPEC_H
+#define PUSHPULL_SPEC_COUNTERSPEC_H
+
+#include "core/Spec.h"
+
+namespace pushpull {
+
+/// \p NumCounters counters over Z_Modulus.
+class CounterSpec : public SequentialSpec {
+public:
+  CounterSpec(std::string Object, unsigned NumCounters, unsigned Modulus);
+
+  std::string name() const override;
+  std::vector<State> initialStates() const override;
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override;
+  std::vector<Completion> completions(const State &S,
+                                      const ResolvedCall &Call)
+      const override;
+  std::vector<Operation> probeOps() const override;
+
+  /// Hints: different objects/counters commute; inc/dec/add on the same
+  /// counter commute with each other only when their *results* are not
+  /// observable... which they are (they return the new value), so
+  /// same-counter pairs go to the semantic check.  See the `blindAdd`
+  /// method for the genuinely commutative variant.
+  Tri leftMoverHint(const Operation &A, const Operation &B) const override;
+
+  const std::string &object() const { return Object; }
+  unsigned numCounters() const { return NumCounters; }
+  unsigned modulus() const { return Modulus; }
+
+private:
+  std::vector<Value> decode(const State &S) const;
+  State encode(const std::vector<Value> &Cs) const;
+  bool validIdx(Value I) const;
+
+  std::string Object;
+  unsigned NumCounters;
+  unsigned Modulus;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SPEC_COUNTERSPEC_H

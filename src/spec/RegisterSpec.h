@@ -1,0 +1,65 @@
+//===- spec/RegisterSpec.h - Word read/write memory -------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential specification of a bank of memory words — the substrate
+/// of the word-based STMs of Section 6.2 (TL2, TinySTM, Intel STM) and of
+/// the simulated HTM of Section 7.  Methods:
+///
+///   read(r)      -> current value of register r
+///   write(r, v)  -> v (echoes the written value)
+///
+/// This is the paper's running example of `allowed`:
+/// allowed l.<a := x, [x->5], [x->5, a->5], id> but not with a->3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SPEC_REGISTERSPEC_H
+#define PUSHPULL_SPEC_REGISTERSPEC_H
+
+#include "core/Spec.h"
+
+namespace pushpull {
+
+/// A bank of \p NumRegs registers over the value domain {0..NumVals-1}.
+/// The finite domain keeps the probe alphabet and state space finite, so
+/// the coinductive checks are exact decision procedures here.
+class RegisterSpec : public SequentialSpec {
+public:
+  RegisterSpec(std::string Object, unsigned NumRegs, unsigned NumVals);
+
+  std::string name() const override;
+  std::vector<State> initialStates() const override;
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override;
+  std::vector<Completion> completions(const State &S,
+                                      const ResolvedCall &Call)
+      const override;
+  std::vector<Operation> probeOps() const override;
+
+  /// Algebraic hint: operations on different registers (or different
+  /// objects) always commute.  Same-register pairs are left to the
+  /// semantic check.
+  Tri leftMoverHint(const Operation &A, const Operation &B) const override;
+
+  const std::string &object() const { return Object; }
+  unsigned numRegs() const { return NumRegs; }
+  unsigned numVals() const { return NumVals; }
+
+private:
+  std::vector<Value> decode(const State &S) const;
+  State encode(const std::vector<Value> &Regs) const;
+  bool validReg(Value R) const;
+
+  std::string Object;
+  unsigned NumRegs;
+  unsigned NumVals;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SPEC_REGISTERSPEC_H

@@ -1,0 +1,137 @@
+//===- spec/SetSpec.cpp - A set with per-key commutativity ------------------===//
+
+#include "spec/SetSpec.h"
+
+#include <cassert>
+
+using namespace pushpull;
+
+// State encoding: one character per universe element, '0' or '1'.
+
+SetSpec::SetSpec(std::string Object, unsigned Universe)
+    : Object(std::move(Object)), Universe(Universe) {
+  assert(Universe > 0 && "degenerate set universe");
+}
+
+std::string SetSpec::name() const {
+  return "set(" + Object + ",u=" + std::to_string(Universe) + ")";
+}
+
+bool SetSpec::validKey(Value K) const {
+  return K >= 0 && K < static_cast<Value>(Universe);
+}
+
+std::vector<State> SetSpec::initialStates() const {
+  return {State(Universe, '0')};
+}
+
+std::vector<State> SetSpec::successors(const State &S,
+                                       const Operation &Op) const {
+  if (Op.Call.Object != Object)
+    return {};
+  const ResolvedCall &C = Op.Call;
+  if (C.Args.size() != 1 || !validKey(C.Args[0]) || !Op.Result)
+    return {};
+  assert(S.size() == Universe && "malformed set state");
+  size_t K = static_cast<size_t>(C.Args[0]);
+  bool Present = S[K] == '1';
+
+  if (C.Method == "add") {
+    if (*Op.Result != (Present ? 0 : 1))
+      return {};
+    State N = S;
+    N[K] = '1';
+    return {N};
+  }
+  if (C.Method == "remove") {
+    if (*Op.Result != (Present ? 1 : 0))
+      return {};
+    State N = S;
+    N[K] = '0';
+    return {N};
+  }
+  if (C.Method == "contains") {
+    if (*Op.Result != (Present ? 1 : 0))
+      return {};
+    return {S};
+  }
+  return {};
+}
+
+std::vector<Completion>
+SetSpec::completions(const State &S, const ResolvedCall &Call) const {
+  if (Call.Object != Object)
+    return {};
+  if (Call.Args.size() != 1 || !validKey(Call.Args[0]))
+    return {};
+  bool Present = S[static_cast<size_t>(Call.Args[0])] == '1';
+  if (Call.Method == "add")
+    return {Completion{Present ? 0 : 1}};
+  if (Call.Method == "remove")
+    return {Completion{Present ? 1 : 0}};
+  if (Call.Method == "contains")
+    return {Completion{Present ? 1 : 0}};
+  return {};
+}
+
+std::vector<Operation> SetSpec::probeOps() const {
+  std::vector<Operation> Out;
+  static const char *Methods[] = {"add", "remove", "contains"};
+  for (unsigned K = 0; K < Universe; ++K)
+    for (const char *M : Methods)
+      for (Value R : {Value(0), Value(1)}) {
+        Operation Op;
+        Op.Call = {Object, M, {static_cast<Value>(K)}};
+        Op.Result = R;
+        Out.push_back(Op);
+      }
+  return Out;
+}
+
+/// Apply \p Op to a single key whose presence bit is \p Present.  Returns
+/// the new presence bit, or nullopt when the recorded result contradicts.
+static std::optional<bool> applyOneKey(bool Present, const Operation &Op) {
+  if (!Op.Result)
+    return std::nullopt;
+  Value R = *Op.Result;
+  if (Op.Call.Method == "add")
+    return R == (Present ? 0 : 1) ? std::optional<bool>(true) : std::nullopt;
+  if (Op.Call.Method == "remove")
+    return R == (Present ? 1 : 0) ? std::optional<bool>(false)
+                                  : std::nullopt;
+  if (Op.Call.Method == "contains")
+    return R == (Present ? 1 : 0) ? std::optional<bool>(Present)
+                                  : std::nullopt;
+  return std::nullopt;
+}
+
+Tri SetSpec::leftMoverHint(const Operation &A, const Operation &B) const {
+  if (A.Call.Object != B.Call.Object)
+    return Tri::Yes;
+  if (A.Call.Object != Object)
+    return Tri::Unknown;
+  if (A.Call.Args.size() != 1 || B.Call.Args.size() != 1)
+    return Tri::Unknown;
+  if (A.Call.Args[0] != B.Call.Args[0])
+    return Tri::Yes; // Distinct keys commute: boosting's abstract locks.
+  if (!validKey(A.Call.Args[0]))
+    return Tri::Unknown;
+
+  // Same key: decide exactly over the key's two (both reachable,
+  // observable) states.
+  for (bool Present : {false, true}) {
+    auto S1 = applyOneKey(Present, A);
+    if (!S1)
+      continue;
+    auto S2 = applyOneKey(*S1, B);
+    if (!S2)
+      continue; // l.A.B not allowed here: vacuous.
+    auto T1 = applyOneKey(Present, B);
+    if (!T1)
+      return Tri::No;
+    auto T2 = applyOneKey(*T1, A);
+    if (!T2 || *T2 != *S2)
+      return Tri::No;
+  }
+  return Tri::Yes;
+}

@@ -1,0 +1,60 @@
+//===- spec/SetSpec.h - A set with per-key commutativity --------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential specification of a set over a finite universe — the
+/// abstraction of the boosted ConcurrentSkipList of Figure 2 and
+/// Section 7.  Methods:
+///
+///   add(k)      -> 1 if k was inserted, 0 if already present
+///   remove(k)   -> 1 if k was removed, 0 if absent
+///   contains(k) -> 0/1
+///
+/// The commutativity structure is the one transactional boosting exploits
+/// with per-key abstract locks: operations on distinct keys always
+/// commute, which the leftMoverHint states algebraically (and tests
+/// cross-validate against the semantic decision procedure).  Inverses —
+/// what a boosted abort executes as UNPUSH — are add(k) ~ remove(k) when
+/// the add returned 1, and no-ops otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SPEC_SETSPEC_H
+#define PUSHPULL_SPEC_SETSPEC_H
+
+#include "core/Spec.h"
+
+namespace pushpull {
+
+/// A set over the universe {0..Universe-1}.
+class SetSpec : public SequentialSpec {
+public:
+  SetSpec(std::string Object, unsigned Universe);
+
+  std::string name() const override;
+  std::vector<State> initialStates() const override;
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override;
+  std::vector<Completion> completions(const State &S,
+                                      const ResolvedCall &Call)
+      const override;
+  std::vector<Operation> probeOps() const override;
+  Tri leftMoverHint(const Operation &A, const Operation &B) const override;
+
+  const std::string &object() const { return Object; }
+  unsigned universe() const { return Universe; }
+
+private:
+  bool validKey(Value K) const;
+
+  std::string Object;
+  unsigned Universe;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SPEC_SETSPEC_H

@@ -1,0 +1,61 @@
+//===- support/Rng.cpp - Deterministic pseudo-randomness ------------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace pushpull;
+
+uint64_t Rng::next() {
+  // xorshift64* (Vigna). Good enough statistical quality for schedulers and
+  // workload generation; the point is determinism, not cryptography.
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  assert(Bound > 0 && "below() with zero bound");
+  // Rejection sampling to avoid modulo bias on large bounds.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "range() with empty interval");
+  return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den > 0 && "chance() with zero denominator");
+  if (Num >= Den)
+    return true;
+  return below(Den) < Num;
+}
+
+uint64_t Rng::zipf(uint64_t N, unsigned ThetaHundredths) {
+  assert(N > 0 && "zipf() over empty domain");
+  if (ThetaHundredths == 0)
+    return below(N);
+  double Theta = ThetaHundredths / 100.0;
+  // Inverse-CDF over the (small) discrete distribution. N is at most a few
+  // thousand in our workloads, so the linear scan is fine.
+  double Total = 0;
+  for (uint64_t R = 0; R < N; ++R)
+    Total += 1.0 / std::pow(static_cast<double>(R + 1), Theta);
+  double U = static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  double Target = U * Total, Acc = 0;
+  for (uint64_t R = 0; R < N; ++R) {
+    Acc += 1.0 / std::pow(static_cast<double>(R + 1), Theta);
+    if (Acc >= Target)
+      return R;
+  }
+  return N - 1;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }

@@ -1,0 +1,33 @@
+//===- support/Str.cpp - Small string helpers -----------------------------===//
+
+#include "support/Str.h"
+
+using namespace pushpull;
+
+std::string pushpull::join(const std::vector<std::string> &Parts,
+                           const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool pushpull::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::vector<std::string> pushpull::splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Out.push_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}

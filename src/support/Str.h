@@ -1,0 +1,33 @@
+//===- support/Str.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers shared by the log/trace pretty-printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SUPPORT_STR_H
+#define PUSHPULL_SUPPORT_STR_H
+
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// Join the elements of \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// True iff \p S begins with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Split \p S on character \p Sep (no empty-trailing suppression).
+std::vector<std::string> splitOn(const std::string &S, char Sep);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SUPPORT_STR_H

@@ -1,0 +1,45 @@
+//===- support/Tri.cpp - Three-valued truth -------------------------------===//
+
+#include "support/Tri.h"
+
+using namespace pushpull;
+
+Tri pushpull::triAnd(Tri A, Tri B) {
+  if (A == Tri::No || B == Tri::No)
+    return Tri::No;
+  if (A == Tri::Unknown || B == Tri::Unknown)
+    return Tri::Unknown;
+  return Tri::Yes;
+}
+
+Tri pushpull::triOr(Tri A, Tri B) {
+  if (A == Tri::Yes || B == Tri::Yes)
+    return Tri::Yes;
+  if (A == Tri::Unknown || B == Tri::Unknown)
+    return Tri::Unknown;
+  return Tri::No;
+}
+
+Tri pushpull::triNot(Tri A) {
+  switch (A) {
+  case Tri::No:
+    return Tri::Yes;
+  case Tri::Yes:
+    return Tri::No;
+  case Tri::Unknown:
+    return Tri::Unknown;
+  }
+  return Tri::Unknown;
+}
+
+std::string pushpull::toString(Tri A) {
+  switch (A) {
+  case Tri::No:
+    return "no";
+  case Tri::Yes:
+    return "yes";
+  case Tri::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}

@@ -1,0 +1,57 @@
+//===- support/Tri.h - Three-valued truth -----------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three-valued logic used by the executable versions of the paper's
+/// coinductive definitions.  The precongruence (Definition 3.1) and
+/// left-mover (Definition 4.1) checks are greatest fixpoints; our decision
+/// procedures are exact on finite-state specifications but may exhaust a
+/// configured resource bound on large or infinite-state ones, in which case
+/// they answer Tri::Unknown rather than guessing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SUPPORT_TRI_H
+#define PUSHPULL_SUPPORT_TRI_H
+
+#include <string>
+
+namespace pushpull {
+
+/// A Kleene three-valued truth value.
+enum class Tri {
+  No,      ///< Definitely false (a counterexample was found).
+  Yes,     ///< Definitely true (the fixpoint closed).
+  Unknown, ///< The resource bound was exhausted before an answer was found.
+};
+
+/// Three-valued conjunction: No dominates, then Unknown, then Yes.
+Tri triAnd(Tri A, Tri B);
+
+/// Three-valued disjunction: Yes dominates, then Unknown, then No.
+Tri triOr(Tri A, Tri B);
+
+/// Three-valued negation; Unknown stays Unknown.
+Tri triNot(Tri A);
+
+/// Lift a bool into Tri.
+inline Tri triOf(bool B) { return B ? Tri::Yes : Tri::No; }
+
+/// True iff \p A is Tri::Yes. Use when Unknown must be treated
+/// conservatively as failure (the sound direction for rule criteria).
+inline bool definitely(Tri A) { return A == Tri::Yes; }
+
+/// True iff \p A is not Tri::No. Use when Unknown must be treated
+/// conservatively as success (the sound direction for refutations).
+inline bool possibly(Tri A) { return A != Tri::No; }
+
+/// Human-readable name ("yes", "no", "unknown").
+std::string toString(Tri A);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SUPPORT_TRI_H

@@ -1,0 +1,147 @@
+//===- tm/BoostingTM.cpp - Transactional boosting ---------------------------===//
+
+#include "tm/BoostingTM.h"
+
+#include "lang/StepFin.h"
+
+using namespace pushpull;
+
+BoostingTM::BoostingTM(PushPullMachine &M, BoostingConfig Config)
+    : TMEngine(M), Config(Config) {
+  Rng Root(Config.Seed);
+  Per.resize(M.threads().size());
+  for (PerThread &P : Per)
+    P.R = Root.split();
+}
+
+AbstractLock BoostingTM::lockFor(const ResolvedCall &Call) const {
+  // Key-granular locking when the method has a key argument (Figure 2
+  // locks `key`); whole-object lock otherwise.
+  if (Config.KeyGranularLocks && !Call.Args.empty())
+    return {Call.Object, Call.Args[0]};
+  return {Call.Object, Value(-1)};
+}
+
+bool BoostingTM::tryAcquire(TxId T, const AbstractLock &Lk) {
+  // A whole-object lock conflicts with everything on the object; a key
+  // lock conflicts with the same key and with the whole-object lock.
+  for (const auto &[Held, Owner] : LockTable) {
+    if (Owner == T || Held.first != Lk.first)
+      continue;
+    if (Held.second == Lk.second || Held.second == Value(-1) ||
+        Lk.second == Value(-1))
+      return false;
+  }
+  LockTable[Lk] = T;
+  Per[T].Held.insert(Lk);
+  return true;
+}
+
+void BoostingTM::releaseAll(TxId T) {
+  for (const AbstractLock &Lk : Per[T].Held)
+    LockTable.erase(Lk);
+  Per[T].Held.clear();
+}
+
+void BoostingTM::pullCommittedHistory(TxId T, const AbstractLock &Lk) {
+  // Boosting reads the shared object in place; in log terms the local
+  // view must contain the committed history of the locked key before the
+  // first APP touches it.  The lock guarantees no new committed ops on
+  // this key appear until we release, so pulling once per acquisition
+  // keeps the view exact.
+  const ThreadState &Th = M->thread(T);
+  for (size_t GI = 0; GI < M->global().size(); ++GI) {
+    const GlobalEntry &E = M->global()[GI];
+    if (E.Kind != GlobalKind::Committed || Th.L.contains(E.Op.Id))
+      continue;
+    if (E.Op.Call.Object != Lk.first)
+      continue;
+    if (Lk.second != Value(-1) && !E.Op.Call.Args.empty() &&
+        E.Op.Call.Args[0] != Lk.second)
+      continue;
+    M->pull(T, GI);
+  }
+}
+
+StepStatus BoostingTM::abortSelf(TxId T) {
+  // Figure 2's catch blocks: inverse operations (UNPUSH) and local rewind
+  // (UNAPP), tail-first; then release the abstract locks.
+  [[maybe_unused]] bool Ok = rewindAll(T);
+  assert(Ok && "boosted rewind cannot be refused: the lock discipline "
+               "keeps our effects commutative and unpulled");
+  releaseAll(T);
+  ++Aborts;
+  ++DeadlockAborts;
+  Per[T].BlockedStreak = 0;
+  return StepStatus::Aborted;
+}
+
+StepStatus BoostingTM::step(TxId T) {
+  const ThreadState &Th = M->thread(T);
+  if (Th.done())
+    return StepStatus::Finished;
+
+  if (!Th.InTx) {
+    M->beginTx(T);
+    return StepStatus::Progress;
+  }
+
+  if (fin(Th.Code)) {
+    // A boosted commit cannot fail when the lock discipline matches the
+    // spec's commutativity (everything is pushed, pulls are
+    // committed-only); if the configuration is mismatched (e.g.
+    // key-granular locks over multi-key methods), fall back to an abort
+    // rather than wedging.
+    if (!M->commit(T).Applied)
+      return abortSelf(T);
+    releaseAll(T);
+    Per[T].BlockedStreak = 0;
+    return StepStatus::Committed;
+  }
+
+  std::vector<AppChoice> Choices = M->appChoices(T);
+  if (Choices.empty())
+    return abortSelf(T); // Program stuck under current view.
+  const AppChoice &C = Choices[Per[T].R.below(Choices.size())];
+
+  auto Call = C.Item.Call.resolve(Th.Sigma);
+  assert(Call && "appChoices returned an unresolvable call");
+  AbstractLock Lk = lockFor(*Call);
+
+  bool FirstTouch = !Per[T].Held.count(Lk);
+  if (FirstTouch && !tryAcquire(T, Lk)) {
+    if (++Per[T].BlockedStreak > Config.DeadlockThreshold)
+      return abortSelf(T); // Deadlock heuristic.
+    return StepStatus::Blocked;
+  }
+  Per[T].BlockedStreak = 0;
+
+  if (FirstTouch)
+    pullCommittedHistory(T, Lk);
+
+  // The pull may have changed the allowed completions; recompute.
+  Choices = M->appChoices(T);
+  size_t Which = Choices.size();
+  for (size_t I = 0; I < Choices.size(); ++I)
+    if (Choices[I].StepIdx == C.StepIdx) {
+      Which = I;
+      break;
+    }
+  if (Which == Choices.size())
+    return abortSelf(T);
+
+  const AppChoice &C2 = Choices[Which];
+  size_t CompIdx = Per[T].R.below(C2.Completions.size());
+  if (!M->app(T, C2.StepIdx, CompIdx).Applied)
+    return abortSelf(T);
+
+  // Eager publication at the linearization point: PUSH right after APP.
+  // With a lock discipline matching the spec's commutativity this cannot
+  // fail (concurrent uncommitted operations commute); a rejection means
+  // the locking granularity is too fine for this method — abort and
+  // retry rather than wedge.
+  size_t Last = M->thread(T).L.size() - 1;
+  if (!M->push(T, Last).Applied)
+    return abortSelf(T);
+  return StepStatus::Progress;
+}

@@ -1,0 +1,184 @@
+//===- tm/DependentTM.cpp - Dependent transactions --------------------------===//
+
+#include "tm/DependentTM.h"
+
+#include "check/Opacity.h"
+#include "lang/StepFin.h"
+
+using namespace pushpull;
+
+DependentTM::DependentTM(PushPullMachine &M, DependentConfig Config)
+    : TMEngine(M), Config(Config) {
+  Rng Root(this->Config.Seed);
+  Per.resize(M.threads().size());
+  for (PerThread &P : Per)
+    P.R = Root.split();
+}
+
+void DependentTM::recomputeDependencies(TxId T) {
+  Per[T].DependsOn.clear();
+  const ThreadState &Th = M->thread(T);
+  for (const LocalEntry &E : Th.L.entries()) {
+    if (E.Kind != LocalKind::Pulled)
+      continue;
+    size_t GI = M->global().indexOf(E.Op.Id);
+    if (GI == GlobalLog::npos)
+      continue;
+    const GlobalEntry &GE = M->global()[GI];
+    if (GE.Kind == GlobalKind::Uncommitted && GE.Owner != T)
+      Per[T].DependsOn.insert(GE.Owner);
+  }
+}
+
+bool DependentTM::detangle(TxId T) {
+  // A pulled entry is dead when its op vanished from G (the owner managed
+  // a partial UNPUSH) or its owner is trying to abort.  Rewind from the
+  // tail exactly past the earliest such entry — no further.
+  const ThreadState &Th = M->thread(T);
+  size_t Earliest = LocalLog::npos;
+  for (size_t I = 0; I < Th.L.size(); ++I) {
+    const LocalEntry &E = Th.L[I];
+    if (E.Kind != LocalKind::Pulled)
+      continue;
+    size_t GI = M->global().indexOf(E.Op.Id);
+    bool Dead = GI == GlobalLog::npos;
+    if (!Dead) {
+      const GlobalEntry &GE = M->global()[GI];
+      Dead = GE.Kind == GlobalKind::Uncommitted && GE.Owner != T &&
+             Per[GE.Owner].WantsAbort;
+    }
+    if (Dead) {
+      Earliest = I;
+      break;
+    }
+  }
+  if (Earliest == LocalLog::npos)
+    return false;
+
+  Per[T].Cooldown = Config.ReentangleCooldown;
+  if (!rewindTo(T, Earliest)) {
+    // Someone depends on *our* pushed suffix in turn; they will detangle
+    // first (their owner check sees our effects intact, but a rejected
+    // rewind means a transitive dependent exists — mark ourselves
+    // aborting so they notice).
+    Per[T].WantsAbort = true;
+    return true;
+  }
+  ++CascadeAborts;
+  ++Aborts;
+  recomputeDependencies(T);
+  Per[T].StuckCommit = 0;
+  return true;
+}
+
+StepStatus DependentTM::tryVoluntaryAbort(TxId T) {
+  Per[T].Cooldown = Config.ReentangleCooldown;
+  if (rewindAll(T)) {
+    Per[T].WantsAbort = false;
+    Per[T].DependsOn.clear();
+    Per[T].StuckCommit = 0;
+    ++Aborts;
+    return StepStatus::Aborted;
+  }
+  // A dependent transaction holds our effects: it will detangle when it
+  // sees WantsAbort; wait.
+  return StepStatus::Blocked;
+}
+
+StepStatus DependentTM::step(TxId T) {
+  const ThreadState &Th = M->thread(T);
+  if (Th.done())
+    return StepStatus::Finished;
+
+  if (Per[T].Cooldown > 0)
+    --Per[T].Cooldown;
+
+  if (Th.InTx && Per[T].WantsAbort)
+    return tryVoluntaryAbort(T);
+
+  if (Th.InTx && detangle(T))
+    return StepStatus::Aborted;
+
+  if (!Th.InTx) {
+    M->beginTx(T);
+    return StepStatus::Progress;
+  }
+
+  // Voluntary abort injection.
+  if (Config.AbortChancePct > 0 && !Th.L.ownOps().empty() &&
+      Per[T].R.chance(Config.AbortChancePct, 100)) {
+    Per[T].WantsAbort = true;
+    return tryVoluntaryAbort(T);
+  }
+
+  if (fin(Th.Code)) {
+    RuleResult R = M->commit(T);
+    if (R.Applied) {
+      Per[T].DependsOn.clear();
+      Per[T].StuckCommit = 0;
+      return StepStatus::Committed;
+    }
+    // Gated: a pulled dependency has not committed yet (CMT criterion
+    // (iii)) — or died (criterion (ii)); detangling is handled at the top
+    // of the next step.
+    ++GatedCommits;
+    if (++Per[T].StuckCommit > Config.StuckCommitThreshold) {
+      // Suspected dependency cycle: break it by aborting ourselves.
+      Per[T].WantsAbort = true;
+      return tryVoluntaryAbort(T);
+    }
+    return StepStatus::Blocked;
+  }
+
+  // View maintenance: committed ops, then (optionally) other
+  // transactions' uncommitted effects — each successful uncommitted pull
+  // is a dependency (Ramadan-style).
+  for (size_t GI = 0; GI < M->global().size(); ++GI) {
+    const GlobalEntry &E = M->global()[GI];
+    if (Th.L.contains(E.Op.Id))
+      continue;
+    if (E.Kind == GlobalKind::Committed) {
+      M->pull(T, GI);
+      continue;
+    }
+    if (Config.PullUncommitted && Per[T].Cooldown == 0 && E.Owner != T &&
+        !Per[E.Owner].WantsAbort) {
+      if (Config.OnlyCommutationSafePulls &&
+          pullCommutationSafe(*M, T, E.Op) != Tri::Yes)
+        continue;
+      if (M->pull(T, GI).Applied) {
+        ++DependenciesFormed;
+        Per[T].DependsOn.insert(E.Owner);
+      }
+    }
+  }
+
+  std::vector<AppChoice> Choices = M->appChoices(T);
+  if (Choices.empty()) {
+    Per[T].WantsAbort = true;
+    return tryVoluntaryAbort(T);
+  }
+  const AppChoice &C = Choices[Per[T].R.below(Choices.size())];
+  size_t CompIdx = Per[T].R.below(C.Completions.size());
+  if (!M->app(T, C.StepIdx, CompIdx).Applied)
+    return StepStatus::Blocked;
+
+  // Eager publication.  A rejected push against an uncommitted effect —
+  // pulled or not — is the other face of dependency gating: our
+  // conflicting effect cannot reach the shared log before its source
+  // commits.  Retract the APP and retry after the next view-maintenance
+  // round; a long stall suggests a cycle and is broken by self-abort.
+  size_t Last = M->thread(T).L.size() - 1;
+  if (!M->push(T, Last).Applied) {
+    M->unapp(T);
+    if (!Per[T].DependsOn.empty())
+      ++GatedPublications;
+    if (++Per[T].StuckCommit > Config.StuckCommitThreshold) {
+      Per[T].WantsAbort = true;
+      return tryVoluntaryAbort(T);
+    }
+    return StepStatus::Blocked;
+  }
+  Per[T].StuckCommit = 0;
+  return StepStatus::Progress;
+}

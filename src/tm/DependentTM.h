@@ -1,0 +1,110 @@
+//===- tm/DependentTM.h - Dependent transactions ----------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.5, second half: dependent transactions (Ramadan et al.) —
+/// the flagship *non-opaque* behaviour.  A transaction T becomes dependent
+/// on T' by PULLing an effect T' PUSHed before committing:
+///
+///   * T may keep running and publishing — PUSH criterion (ii) exempts
+///     operations T has pulled into L, so the dependency does not block
+///     progress;
+///   * T cannot CMT before T' does — CMT criterion (iii) requires every
+///     pulled operation to be committed; the engine surfaces this as
+///     commit gating;
+///   * if T' aborts, T must *detangle*: T' cannot even UNPUSH the pulled
+///     effect while T's log depends on it (UNPUSH criterion (ii)), so T
+///     rewinds backwards exactly far enough to UNPULL the dead effect —
+///     "T must only move backwards insofar as to detangle from T'" — and
+///     then re-executes forward; the cascade is partial, not total.
+///
+/// Voluntary aborts are injected with configurable probability to
+/// exercise the cascade machinery (E7).  Dependency cycles (T1 <-> T2)
+/// gate both commits; a stuck-commit threshold breaks them by aborting
+/// one party.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_DEPENDENTTM_H
+#define PUSHPULL_TM_DEPENDENTTM_H
+
+#include "tm/Engine.h"
+
+#include <set>
+#include <vector>
+
+namespace pushpull {
+
+/// Engine options.
+struct DependentConfig {
+  uint64_t Seed = 1;
+  /// Probability (percent) that a transaction voluntarily aborts at any
+  /// step, to exercise cascades.
+  unsigned AbortChancePct = 0;
+  /// Pull other transactions' uncommitted effects when possible.
+  bool PullUncommitted = true;
+  /// Section 6.1's refinement: pull an uncommitted effect only when every
+  /// method reachable in our remaining code commutes with it
+  /// (pullCommutationSafe), so the run stays *observationally* opaque
+  /// even though it leaves the no-uncommitted-pulls fragment.
+  bool OnlyCommutationSafePulls = false;
+  /// Steps a commit may stay gated before suspecting a dependency cycle
+  /// and self-aborting.
+  unsigned StuckCommitThreshold = 16;
+  /// After an abort or detangle, refrain from pulling uncommitted
+  /// effects for this many steps.  Without the cooldown, cyclically
+  /// dependent transactions re-entangle deterministically and livelock:
+  /// A aborts, B detangles, both re-run, re-pull each other, repeat.
+  unsigned ReentangleCooldown = 8;
+};
+
+/// The Section 6.5 dependent-transactions engine.
+class DependentTM : public TMEngine {
+public:
+  DependentTM(PushPullMachine &M, DependentConfig Config = {});
+
+  std::string name() const override { return "dependent(ramadan-style)"; }
+  StepStatus step(TxId T) override;
+
+  /// Dependencies established (uncommitted pulls).
+  uint64_t dependenciesFormed() const { return DependenciesFormed; }
+  /// Cascading (detangle) aborts, as opposed to voluntary ones.
+  uint64_t cascadeAborts() const { return CascadeAborts; }
+  /// Commits that had to wait for a dependency to commit first.
+  uint64_t gatedCommits() const { return GatedCommits; }
+  /// Publications (PUSHes) rejected while a pulled dependency was still
+  /// uncommitted — the other face of commit gating: a dependent effect
+  /// cannot even reach the shared log before its dependency commits.
+  uint64_t gatedPublications() const { return GatedPublications; }
+
+private:
+  struct PerThread {
+    Rng R{1};
+    std::set<TxId> DependsOn;
+    bool WantsAbort = false;
+    unsigned StuckCommit = 0;
+    unsigned Cooldown = 0;
+  };
+
+  /// Rewind just far enough to drop every pulled entry that is dead (no
+  /// longer in G) or owned by an aborting thread.  Returns true if any
+  /// detangling happened.
+  bool detangle(TxId T);
+  void recomputeDependencies(TxId T);
+  StepStatus tryVoluntaryAbort(TxId T);
+
+  DependentConfig Config;
+  std::vector<PerThread> Per;
+  uint64_t DependenciesFormed = 0;
+  uint64_t CascadeAborts = 0;
+  uint64_t GatedCommits = 0;
+  uint64_t GatedPublications = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_DEPENDENTTM_H

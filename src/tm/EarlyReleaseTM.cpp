@@ -1,0 +1,70 @@
+//===- tm/EarlyReleaseTM.cpp - DSTM-style early release ---------------------===//
+
+#include "tm/EarlyReleaseTM.h"
+
+#include "lang/StepFin.h"
+
+using namespace pushpull;
+
+EarlyReleaseTM::EarlyReleaseTM(PushPullMachine &M, EarlyReleaseConfig Config)
+    : TMEngine(M) {
+  Rng Root(Config.Seed);
+  Per.resize(M.threads().size());
+  for (PerThread &P : Per)
+    P.R = Root.split();
+}
+
+StepStatus EarlyReleaseTM::abortSelf(TxId T) {
+  OpsDiscarded += M->thread(T).L.ownOps().size();
+  [[maybe_unused]] bool Ok = rewindAll(T);
+  assert(Ok && "early-release rewind cannot be refused: nobody pulls our "
+               "uncommitted effects");
+  ++Aborts;
+  return StepStatus::Aborted;
+}
+
+StepStatus EarlyReleaseTM::step(TxId T) {
+  const ThreadState &Th = M->thread(T);
+  if (Th.done())
+    return StepStatus::Finished;
+
+  if (!Th.InTx) {
+    M->beginTx(T);
+    return StepStatus::Progress;
+  }
+
+  if (fin(Th.Code)) {
+    // Release phase: drop pulled read handles we no longer depend on
+    // (UNPULL criterion (i) decides "no longer depend").
+    for (size_t I = M->thread(T).L.size(); I > 0; --I) {
+      const LocalEntry &E = M->thread(T).L[I - 1];
+      if (E.Kind == LocalKind::Pulled && M->unpull(T, I - 1).Applied)
+        ++Releases;
+    }
+    if (!M->commit(T).Applied)
+      return abortSelf(T); // A dependency was left: give up and retry.
+    return StepStatus::Committed;
+  }
+
+  // View maintenance: pull newly committed operations.
+  for (size_t GI = 0; GI < M->global().size(); ++GI) {
+    const GlobalEntry &E = M->global()[GI];
+    if (E.Kind == GlobalKind::Committed && !Th.L.contains(E.Op.Id))
+      M->pull(T, GI);
+  }
+
+  std::vector<AppChoice> Choices = M->appChoices(T);
+  if (Choices.empty())
+    return abortSelf(T);
+  const AppChoice &C = Choices[Per[T].R.below(Choices.size())];
+  size_t CompIdx = Per[T].R.below(C.Completions.size());
+  if (!M->app(T, C.StepIdx, CompIdx).Applied)
+    return abortSelf(T);
+
+  // Eager publication; a rejected push is an *early* conflict detection
+  // against a still-running peer.
+  size_t Last = M->thread(T).L.size() - 1;
+  if (!M->push(T, Last).Applied)
+    return abortSelf(T);
+  return StepStatus::Progress;
+}

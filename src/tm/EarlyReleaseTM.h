@@ -1,0 +1,70 @@
+//===- tm/EarlyReleaseTM.h - DSTM-style early release -----------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.5, first half: the early-release mechanism of Herlihy et
+/// al.'s DSTM.  The paper models it as: an executing transaction T'
+/// PUSHes an operation, and T checks whether it is able to PULL it — a
+/// *pull probe* detecting conflicts while both transactions are still
+/// running, instead of at commit time.
+///
+/// The engine publishes eagerly (APP then PUSH, no locks).  A rejected
+/// PUSH — criterion (ii) failing against another in-flight transaction's
+/// uncommitted effect — is the early conflict detection: the transaction
+/// aborts immediately, having wasted less work than a commit-time
+/// validator would (E7 measures exactly this against OptimisticTM).
+///
+/// The *release* half: entries pulled for reading are UNPULLed as soon as
+/// the transaction stops depending on them (checked by UNPULL criterion
+/// (i)), before commit — dropping read handles early, as DSTM's
+/// release() does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_EARLYRELEASETM_H
+#define PUSHPULL_TM_EARLYRELEASETM_H
+
+#include "tm/Engine.h"
+
+#include <vector>
+
+namespace pushpull {
+
+/// Engine options.
+struct EarlyReleaseConfig {
+  uint64_t Seed = 1;
+};
+
+/// The Section 6.5 early-release engine.
+class EarlyReleaseTM : public TMEngine {
+public:
+  EarlyReleaseTM(PushPullMachine &M, EarlyReleaseConfig Config = {});
+
+  std::string name() const override { return "early-release(dstm-style)"; }
+  StepStatus step(TxId T) override;
+
+  /// Read handles released (UNPULLed) before commit.
+  uint64_t releases() const { return Releases; }
+  /// Operations discarded across all aborts (the wasted-work metric E7
+  /// compares against commit-time validation).
+  uint64_t opsDiscarded() const { return OpsDiscarded; }
+
+private:
+  struct PerThread {
+    Rng R{1};
+  };
+
+  StepStatus abortSelf(TxId T);
+
+  std::vector<PerThread> Per;
+  uint64_t Releases = 0;
+  uint64_t OpsDiscarded = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_EARLYRELEASETM_H

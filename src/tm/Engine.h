@@ -1,0 +1,88 @@
+//===- tm/Engine.h - TM algorithm engines -----------------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TM *engine* is the executable form of a Section 6 case study: a
+/// strategy that drives threads through the PUSH/PULL machine in one
+/// algorithm's characteristic rule pattern (optimistic TMs PUSH at commit,
+/// pessimistic ones right after APP, hybrids a mixture — Section 2).
+/// Engines never touch logs directly; every effect goes through a machine
+/// rule, whose criteria the machine validates.  An engine bug that would
+/// break a side-condition is therefore *rejected*, not silently serialized.
+///
+/// The scheduler calls step(T) to advance thread T by one algorithm step.
+/// One step may perform several machine rules when the algorithm requires
+/// an uninterleaved sequence (e.g. an optimistic commit's push-all+CMT):
+/// machine rule calls are atomic, and the scheduler only interleaves
+/// between engine steps, which models "at an uninterleaved moment".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_ENGINE_H
+#define PUSHPULL_TM_ENGINE_H
+
+#include "core/Machine.h"
+#include "support/Rng.h"
+
+#include <string>
+
+namespace pushpull {
+
+/// What an engine step did for the scheduler's bookkeeping.
+enum class StepStatus {
+  Progress,  ///< Advanced (APP/PUSH/PULL/begin/...).
+  Blocked,   ///< Could not advance now (lock held, waiting on another tx).
+  Committed, ///< This step performed a CMT.
+  Aborted,   ///< This step rolled the transaction back (it will retry).
+  Finished,  ///< Thread has no work left.
+};
+
+std::string toString(StepStatus S);
+
+/// Base class for the Section 6 algorithm engines.
+class TMEngine {
+public:
+  explicit TMEngine(PushPullMachine &M) : M(&M) {}
+  virtual ~TMEngine();
+
+  /// Algorithm name, e.g. "optimistic(tl2-style)".
+  virtual std::string name() const = 0;
+
+  /// Advance thread \p T by one algorithm step.
+  virtual StepStatus step(TxId T) = 0;
+
+  /// Total transaction aborts (rollback-and-retry events) so far.
+  uint64_t aborts() const { return Aborts; }
+
+  PushPullMachine &machine() { return *M; }
+
+protected:
+  /// Roll the in-progress transaction of \p T all the way back: from the
+  /// tail of the local log, UNPULL pulled entries, UNPUSH+UNAPP pushed
+  /// ones, UNAPP unpushed ones.  Afterwards the thread's code and stack
+  /// are back at the otx rewind point (each UNAPP restores the saved
+  /// pre-code/pre-stack), the transaction is still in progress, and the
+  /// engine may re-execute it.  Returns false if some backward rule was
+  /// rejected (e.g. another transaction still depends on a pushed op).
+  bool rewindAll(TxId T);
+
+  /// Partial rewind: pop local-log entries from the tail until only
+  /// \p KeepEntries remain (the Section 7 "rewind some code" move and the
+  /// dependent-transaction detangle).  Returns false on rejection.
+  bool rewindTo(TxId T, size_t KeepEntries);
+
+  /// Pop exactly one entry off the tail of T's local log with the
+  /// appropriate backward rule(s).  Returns false on rejection.
+  bool popTail(TxId T);
+
+  PushPullMachine *M;
+  uint64_t Aborts = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_ENGINE_H

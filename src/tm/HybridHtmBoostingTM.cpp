@@ -1,0 +1,195 @@
+//===- tm/HybridHtmBoostingTM.cpp - Section 7 hybrid -------------------------===//
+
+#include "tm/HybridHtmBoostingTM.h"
+
+#include "lang/StepFin.h"
+
+using namespace pushpull;
+
+HybridHtmBoostingTM::HybridHtmBoostingTM(PushPullMachine &M,
+                                         HybridConfig Config)
+    : TMEngine(M), Config(std::move(Config)) {
+  Rng Root(this->Config.Seed);
+  Per.resize(M.threads().size());
+  for (PerThread &P : Per)
+    P.R = Root.split();
+}
+
+bool HybridHtmBoostingTM::tryAcquire(TxId T, const AbstractLock &Lk) {
+  for (const auto &[Held, Owner] : LockTable) {
+    if (Owner == T || Held.first != Lk.first)
+      continue;
+    if (Held.second == Lk.second || Held.second == Value(-1) ||
+        Lk.second == Value(-1))
+      return false;
+  }
+  LockTable[Lk] = T;
+  Per[T].Held.insert(Lk);
+  return true;
+}
+
+void HybridHtmBoostingTM::releaseAll(TxId T) {
+  for (const AbstractLock &Lk : Per[T].Held)
+    LockTable.erase(Lk);
+  Per[T].Held.clear();
+}
+
+void HybridHtmBoostingTM::pullCommittedFor(TxId T, const std::string &Object,
+                                           Value Key, bool WholeObject) {
+  const ThreadState &Th = M->thread(T);
+  for (size_t GI = 0; GI < M->global().size(); ++GI) {
+    const GlobalEntry &E = M->global()[GI];
+    if (E.Kind != GlobalKind::Committed || Th.L.contains(E.Op.Id))
+      continue;
+    if (E.Op.Call.Object != Object)
+      continue;
+    if (!WholeObject && !E.Op.Call.Args.empty() && E.Op.Call.Args[0] != Key)
+      continue;
+    M->pull(T, GI);
+  }
+}
+
+StepStatus HybridHtmBoostingTM::abortSelf(TxId T) {
+  [[maybe_unused]] bool Ok = rewindAll(T);
+  assert(Ok && "hybrid rewind cannot be refused");
+  releaseAll(T);
+  ++Aborts;
+  Per[T].BlockedStreak = 0;
+  return StepStatus::Aborted;
+}
+
+void HybridHtmBoostingTM::htmRetract(TxId T,
+                                     const std::vector<size_t> &PushedNow) {
+  ++HtmRetractions;
+  // UNPUSH the HTM batch, newest push first — the boosted effects pushed
+  // earlier (or even *between* the HTM ops in the shared log) stay put.
+  for (size_t J = PushedNow.size(); J > 0; --J) {
+    [[maybe_unused]] bool Ok = M->unpush(T, PushedNow[J - 1]).Applied;
+    assert(Ok && "retracting our own uncommitted HTM push cannot fail");
+  }
+  const ThreadState &Th = M->thread(T);
+  for (const LocalEntry &E : Th.L.entries())
+    if (E.Kind == LocalKind::Pushed)
+      ++BoostedOpsPreserved;
+
+  // Partial rewind: UNAPP the trailing *unpushed* (HTM) accesses — the
+  // Figure 7 "rewind some code" move.  We rewind past the most recent HTM
+  // access so re-execution may take a different branch; boosted (pushed)
+  // entries act as a floor the rewind never crosses.
+  bool RemovedOne = false;
+  while (!M->thread(T).L.empty()) {
+    const LocalEntry &Last =
+        M->thread(T).L[M->thread(T).L.size() - 1];
+    if (Last.Kind != LocalKind::NotPushed) {
+      if (Last.Kind == LocalKind::Pulled && !RemovedOne) {
+        // Pulled view entries on top of the conflicting access: drop them
+        // so UNAPP can reach it.
+        if (M->unpull(T, M->thread(T).L.size() - 1).Applied)
+          continue;
+      }
+      break;
+    }
+    if (RemovedOne)
+      break;
+    RemovedOne = true; // Unapp exactly the most recent HTM access.
+    [[maybe_unused]] bool Ok = M->unapp(T).Applied;
+    assert(Ok && "UNAPP of a trailing npshd entry cannot fail");
+  }
+}
+
+StepStatus HybridHtmBoostingTM::publicationPhase(TxId T) {
+  // "Push HTM ops": publish the buffered HTM accesses in local order.
+  std::vector<size_t> PushedNow;
+  for (size_t I : M->thread(T).L.indicesOf(LocalKind::NotPushed)) {
+    if (M->push(T, I).Applied) {
+      PushedNow.push_back(I);
+      continue;
+    }
+    // Organic conflict: a concurrent hardware transaction's uncommitted
+    // effect does not commute with ours.
+    htmRetract(T, PushedNow);
+    return StepStatus::Aborted;
+  }
+
+  // Injected conflict (the Haswell abort signal substitute).
+  if (Per[T].InjectedThisTx < Config.MaxInjectedPerTx &&
+      Per[T].R.chance(Config.ConflictChancePct, 100) && !PushedNow.empty()) {
+    ++Per[T].InjectedThisTx;
+    htmRetract(T, PushedNow);
+    return StepStatus::Aborted;
+  }
+
+  // A hybrid commit cannot fail after full publication; abort
+  // defensively if a configuration ever breaks that.
+  if (!M->commit(T).Applied)
+    return abortSelf(T);
+  releaseAll(T);
+  Per[T].InjectedThisTx = 0;
+  return StepStatus::Committed;
+}
+
+StepStatus HybridHtmBoostingTM::step(TxId T) {
+  const ThreadState &Th = M->thread(T);
+  if (Th.done())
+    return StepStatus::Finished;
+
+  if (!Th.InTx) {
+    M->beginTx(T);
+    Per[T].InjectedThisTx = 0;
+    return StepStatus::Progress;
+  }
+
+  if (fin(Th.Code))
+    return publicationPhase(T);
+
+  std::vector<AppChoice> Choices = M->appChoices(T);
+  if (Choices.empty())
+    return abortSelf(T);
+  const AppChoice &C = Choices[Per[T].R.below(Choices.size())];
+  auto Call = C.Item.Call.resolve(Th.Sigma);
+  assert(Call && "appChoices returned an unresolvable call");
+
+  if (isHtm(Call->Object)) {
+    // HTM access: refresh the word's committed view, APP, defer the push.
+    pullCommittedFor(T, Call->Object, Value(-1), /*WholeObject=*/true);
+    std::vector<AppChoice> Fresh = M->appChoices(T);
+    for (const AppChoice &F : Fresh)
+      if (F.StepIdx == C.StepIdx) {
+        size_t CompIdx = Per[T].R.below(F.Completions.size());
+        if (!M->app(T, F.StepIdx, CompIdx).Applied)
+          return abortSelf(T);
+        return StepStatus::Progress;
+      }
+    return abortSelf(T);
+  }
+
+  // Boosted access: lock, pull the key's committed history, APP, PUSH.
+  AbstractLock Lk = Call->Args.empty()
+                        ? AbstractLock{Call->Object, Value(-1)}
+                        : AbstractLock{Call->Object, Call->Args[0]};
+  bool FirstTouch = !Per[T].Held.count(Lk);
+  if (FirstTouch && !tryAcquire(T, Lk)) {
+    if (++Per[T].BlockedStreak > Config.DeadlockThreshold)
+      return abortSelf(T);
+    return StepStatus::Blocked;
+  }
+  Per[T].BlockedStreak = 0;
+  if (FirstTouch)
+    pullCommittedFor(T, Lk.first, Lk.second, Lk.second == Value(-1));
+
+  std::vector<AppChoice> Fresh = M->appChoices(T);
+  for (const AppChoice &F : Fresh)
+    if (F.StepIdx == C.StepIdx) {
+      size_t CompIdx = Per[T].R.below(F.Completions.size());
+      if (!M->app(T, F.StepIdx, CompIdx).Applied)
+        return abortSelf(T);
+      size_t Last = M->thread(T).L.size() - 1;
+      // Eager boosted publication.  PUSH criterion (i) is *not* vacuous
+      // here: buffered HTM accesses may precede this op in L, and the
+      // machine checks the boosted op moves left over them.
+      if (!M->push(T, Last).Applied)
+        return abortSelf(T);
+      return StepStatus::Progress;
+    }
+  return abortSelf(T);
+}

@@ -1,0 +1,104 @@
+//===- tm/HybridHtmBoostingTM.h - Section 7 hybrid --------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 7: a single transaction mixing *boosted* objects (skiplist,
+/// hashtable — abstract locks, eager PUSH at the linearization point) with
+/// *HTM-controlled* words (size, x, y — APPlied locally, PUSHed in a batch
+/// before commit).  The paper uses this to show why PUSH/PULL's permission
+/// to publish and retract out of order is not an academic curiosity:
+///
+///   * HTM operations are pushed *after* boosted operations that followed
+///     them locally — PUSH criterion (i)'s mover side-condition at work;
+///   * on an HTM conflict, the HTM batch is UNPUSHed while the boosted
+///     effects (expensive to replay) STAY in the shared log — the
+///     signature Figure 7 sequence UNPUSH(x++), UNPUSH(size++),
+///     UNAPP(x++), APP(y++), PUSH(size++), PUSH(y++), CMT;
+///   * the transaction rewinds only as far as the conflicting access and
+///     marches forward again, possibly down a different branch.
+///
+/// HTM conflicts are injected with configurable probability (the
+/// substitute for Haswell's cache-coherence aborts) and also arise
+/// organically from rejected pushes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_HYBRIDHTMBOOSTINGTM_H
+#define PUSHPULL_TM_HYBRIDHTMBOOSTINGTM_H
+
+#include "tm/BoostingTM.h"
+#include "tm/Engine.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// Engine options.
+struct HybridConfig {
+  uint64_t Seed = 1;
+  /// Objects controlled by (simulated) HTM: pushed as a pre-commit batch.
+  std::set<std::string> HtmObjects;
+  /// Probability (percent) that the HTM signals an abort during a
+  /// publication attempt.
+  unsigned ConflictChancePct = 0;
+  /// At most this many injected conflicts per transaction (progress).
+  unsigned MaxInjectedPerTx = 1;
+  /// Consecutive blocked lock acquisitions before self-abort.
+  unsigned DeadlockThreshold = 8;
+};
+
+/// The Section 7 hybrid engine.  Objects not listed in HtmObjects are
+/// treated as boosted (locked, eagerly pushed).
+class HybridHtmBoostingTM : public TMEngine {
+public:
+  HybridHtmBoostingTM(PushPullMachine &M, HybridConfig Config);
+
+  std::string name() const override { return "hybrid(htm+boosting)"; }
+  StepStatus step(TxId T) override;
+
+  /// HTM batch retractions performed (each = one Figure 7-style
+  /// UNPUSH-batch + partial UNAPP + re-execute).
+  uint64_t htmRetractions() const { return HtmRetractions; }
+  /// Boosted operations that *survived* an HTM retraction in the shared
+  /// log (the replay work saved, Section 7's point).
+  uint64_t boostedOpsPreserved() const { return BoostedOpsPreserved; }
+
+private:
+  struct PerThread {
+    Rng R{1};
+    std::set<AbstractLock> Held;
+    unsigned BlockedStreak = 0;
+    unsigned InjectedThisTx = 0;
+  };
+
+  bool isHtm(const std::string &Object) const {
+    return Config.HtmObjects.count(Object) != 0;
+  }
+  bool tryAcquire(TxId T, const AbstractLock &Lk);
+  void releaseAll(TxId T);
+  void pullCommittedFor(TxId T, const std::string &Object, Value Key,
+                        bool WholeObject);
+  StepStatus abortSelf(TxId T);
+  StepStatus publicationPhase(TxId T);
+  /// Figure 7's abort path: UNPUSH the HTM batch (reverse push order),
+  /// UNAPP back past the conflicting HTM access, leave boosted effects in
+  /// the shared log.
+  void htmRetract(TxId T, const std::vector<size_t> &PushedNow);
+
+  HybridConfig Config;
+  std::map<AbstractLock, TxId> LockTable;
+  std::vector<PerThread> Per;
+  uint64_t HtmRetractions = 0;
+  uint64_t BoostedOpsPreserved = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_HYBRIDHTMBOOSTINGTM_H

@@ -1,0 +1,71 @@
+//===- tm/IrrevocableTM.h - Welc et al. irrevocability ----------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.4: the mixed model of Welc et al. — at most one *irrevocable*
+/// (pessimistic) transaction runs among many optimistic ones.  The
+/// irrevocable thread "PUSHes its effects instantaneously after APP"
+/// (eager publication) and never rolls back: its pushes can only be
+/// stalled, never invalidated, because
+///
+///   * PUSH criterion (ii) is vacuous for it between steps (optimistic
+///     peers keep uncommitted pushes inside their own commit step), and
+///   * PUSH criterion (iii) holds because it catches up on committed
+///     operations in the same step as each APP.
+///
+/// Optimistic peers conversely may fail commit-time validation against
+/// the irrevocable thread's uncommitted pushed effects (PUSH criterion
+/// (ii)) or its committed ones (criterion (iii)) and abort-retry — the
+/// asymmetry that makes irrevocability work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_IRREVOCABLETM_H
+#define PUSHPULL_TM_IRREVOCABLETM_H
+
+#include "tm/Engine.h"
+
+#include <vector>
+
+namespace pushpull {
+
+/// Engine options.
+struct IrrevocableConfig {
+  uint64_t Seed = 1;
+  /// Which thread is the irrevocable one.
+  TxId IrrevocableThread = 0;
+};
+
+/// The Section 6.4 mixed engine.
+class IrrevocableTM : public TMEngine {
+public:
+  IrrevocableTM(PushPullMachine &M, IrrevocableConfig Config = {});
+
+  std::string name() const override { return "mixed(irrevocable)"; }
+  StepStatus step(TxId T) override;
+
+  /// Rollback rules (UNAPP/UNPUSH/UNPULL) ever executed by the
+  /// irrevocable thread — must stay zero.
+  uint64_t irrevocableRollbacks() const;
+
+private:
+  struct PerThread {
+    bool SnapshotDone = false;
+    Rng R{1};
+  };
+
+  StepStatus stepIrrevocable(TxId T);
+  StepStatus stepOptimistic(TxId T);
+  void abortAndRetry(TxId T);
+
+  IrrevocableConfig Config;
+  std::vector<PerThread> Per;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_IRREVOCABLETM_H

@@ -1,0 +1,212 @@
+//===- tm/OpenNestingTM.cpp - Open nested transactions -----------------------===//
+
+#include "tm/OpenNestingTM.h"
+
+#include "lang/StepFin.h"
+#include "spec/MapSpec.h"
+
+using namespace pushpull;
+
+namespace {
+
+MethodExpr mkCall(const std::string &Object, const std::string &Method,
+                  std::vector<Value> Args) {
+  MethodExpr ME;
+  ME.Object = Object;
+  ME.Method = Method;
+  for (Value A : Args)
+    ME.Args.push_back(Arg(A));
+  return ME;
+}
+
+} // namespace
+
+InverseFn pushpull::setInverses() {
+  return [](const Operation &Op) -> std::optional<MethodExpr> {
+    const ResolvedCall &C = Op.Call;
+    if (C.Method == "add" && Op.Result == Value(1))
+      return mkCall(C.Object, "remove", {C.Args[0]});
+    if (C.Method == "remove" && Op.Result == Value(1))
+      return mkCall(C.Object, "add", {C.Args[0]});
+    return std::nullopt; // contains / failed updates.
+  };
+}
+
+InverseFn pushpull::mapInverses() {
+  return [](const Operation &Op) -> std::optional<MethodExpr> {
+    const ResolvedCall &C = Op.Call;
+    if (C.Method == "put") {
+      if (Op.Result == MapSpec::Absent)
+        return mkCall(C.Object, "remove", {C.Args[0]});
+      return mkCall(C.Object, "put", {C.Args[0], *Op.Result});
+    }
+    if (C.Method == "remove" && Op.Result &&
+        *Op.Result != MapSpec::Absent)
+      return mkCall(C.Object, "put", {C.Args[0], *Op.Result});
+    return std::nullopt; // get / containsKey / remove of absent.
+  };
+}
+
+InverseFn pushpull::counterInverses() {
+  return [](const Operation &Op) -> std::optional<MethodExpr> {
+    const ResolvedCall &C = Op.Call;
+    if (C.Method == "inc")
+      return mkCall(C.Object, "dec", {C.Args[0]});
+    if (C.Method == "dec")
+      return mkCall(C.Object, "inc", {C.Args[0]});
+    if (C.Method == "add")
+      return mkCall(C.Object, "add", {C.Args[0], -C.Args[1]});
+    return std::nullopt; // read.
+  };
+}
+
+InverseFn pushpull::bankInverses() {
+  return [](const Operation &Op) -> std::optional<MethodExpr> {
+    const ResolvedCall &C = Op.Call;
+    if (C.Method == "deposit")
+      return mkCall(C.Object, "withdraw", {C.Args[0], C.Args[1]});
+    if (C.Method == "withdraw" && Op.Result == Value(1))
+      return mkCall(C.Object, "deposit", {C.Args[0], C.Args[1]});
+    return std::nullopt; // balance / failed withdraw.
+  };
+}
+
+InverseFn
+pushpull::inversesByObject(std::map<std::string, InverseFn> ByObject) {
+  return [ByObject = std::move(ByObject)](
+             const Operation &Op) -> std::optional<MethodExpr> {
+    auto It = ByObject.find(Op.Call.Object);
+    if (It == ByObject.end())
+      return std::nullopt;
+    return It->second(Op);
+  };
+}
+
+OpenNestingTM::OpenNestingTM(PushPullMachine &M,
+                             std::vector<std::vector<OuterTx>> Outer,
+                             OpenNestingConfig Config)
+    : TMEngine(M), Config(std::move(Config)) {
+  Rng Root(this->Config.Seed);
+  Per.resize(Outer.size());
+  for (size_t T = 0; T < Outer.size(); ++T) {
+    Per[T].R = Root.split();
+    Per[T].Outers = std::move(Outer[T]);
+    TxId Tid = M.addThread({});
+    assert(Tid == T && "engine must own an empty machine");
+    if (!Per[T].Outers.empty() && !Per[T].Outers.front().Segments.empty())
+      M.queueTransactionsFront(Tid, {Per[T].Outers.front().Segments[0]});
+  }
+}
+
+void OpenNestingTM::recordCompensations(TxId T) {
+  for (const Operation &Op : M->thread(T).L.ownOps())
+    if (auto Inv = Config.Inverse(Op))
+      Per[T].Compensations.push_back(std::move(*Inv));
+}
+
+StepStatus OpenNestingTM::abortOuter(TxId T) {
+  ++OuterAborts;
+  ++Per[T].AbortsThisOuter;
+  PerThread &P = Per[T];
+  if (!P.Compensations.empty()) {
+    // One compensating transaction, inverses in reverse order.
+    std::vector<CodePtr> Body;
+    for (size_t I = P.Compensations.size(); I > 0; --I)
+      Body.push_back(Code::makeCall(P.Compensations[I - 1]));
+    CompensationsRun += Body.size();
+    M->queueTransactionsFront(T, {tx(seqAll(std::move(Body)))});
+    P.Compensating = true;
+  } else {
+    // Nothing committed yet: restart the outer immediately.
+    P.SegmentsDone = 0;
+    if (!P.Outers.empty() && !P.Outers.front().Segments.empty())
+      M->queueTransactionsFront(T, {P.Outers.front().Segments[0]});
+  }
+  P.Compensations.clear();
+  ++Aborts;
+  return StepStatus::Aborted;
+}
+
+StepStatus OpenNestingTM::step(TxId T) {
+  const ThreadState &Th = M->thread(T);
+  PerThread &P = Per[T];
+
+  if (Th.done()) {
+    if (P.Outers.empty())
+      return StepStatus::Finished;
+    // Shouldn't normally happen (segments are queued eagerly), but be
+    // robust: queue the next segment of the current outer.
+    M->queueTransactionsFront(T, {P.Outers.front().Segments[P.SegmentsDone]});
+    return StepStatus::Progress;
+  }
+
+  if (!Th.InTx) {
+    M->beginTx(T);
+    return StepStatus::Progress;
+  }
+
+  if (fin(Th.Code)) {
+    bool WasCompensating = P.Compensating;
+    if (!WasCompensating)
+      recordCompensations(T); // Before CMT clears the local log.
+    if (!M->commit(T).Applied) {
+      // Open segments pull only committed effects and push eagerly, so
+      // this cannot normally fail; retry via a segment-level abort.
+      rewindAll(T);
+      return StepStatus::Aborted;
+    }
+
+    if (WasCompensating) {
+      // The compensation transaction committed: the outer abort is
+      // complete; restart the outer from its first segment.
+      P.Compensating = false;
+      P.SegmentsDone = 0;
+      if (!P.Outers.empty() && !P.Outers.front().Segments.empty())
+        M->queueTransactionsFront(T, {P.Outers.front().Segments[0]});
+      return StepStatus::Committed;
+    }
+
+    ++P.SegmentsDone;
+    if (P.SegmentsDone >= P.Outers.front().Segments.size()) {
+      // Outer complete.
+      ++OuterCommits;
+      P.Outers.erase(P.Outers.begin());
+      P.SegmentsDone = 0;
+      P.Compensations.clear();
+      P.AbortsThisOuter = 0;
+      if (!P.Outers.empty() && !P.Outers.front().Segments.empty())
+        M->queueTransactionsFront(T, {P.Outers.front().Segments[0]});
+      return StepStatus::Committed;
+    }
+
+    // Between segments: maybe the outer aborts (the interesting case —
+    // already-committed open segments must be compensated, not unpushed).
+    if (P.AbortsThisOuter < Config.MaxAbortsPerOuter &&
+        P.R.chance(Config.OuterAbortPct, 100))
+      return abortOuter(T);
+
+    M->queueTransactionsFront(T, {P.Outers.front().Segments[P.SegmentsDone]});
+    return StepStatus::Committed;
+  }
+
+  // Segment execution: catch up on committed state, APP, eager PUSH.
+  for (size_t GI = 0; GI < M->global().size(); ++GI) {
+    const GlobalEntry &E = M->global()[GI];
+    if (E.Kind == GlobalKind::Committed && !Th.L.contains(E.Op.Id))
+      M->pull(T, GI);
+  }
+  std::vector<AppChoice> Choices = M->appChoices(T);
+  if (Choices.empty())
+    return StepStatus::Blocked;
+  const AppChoice &C = Choices[P.R.below(Choices.size())];
+  size_t CompIdx = P.R.below(C.Completions.size());
+  if (!M->app(T, C.StepIdx, CompIdx).Applied)
+    return StepStatus::Blocked;
+  size_t Last = M->thread(T).L.size() - 1;
+  if (!M->push(T, Last).Applied) {
+    // Conflict with a concurrent uncommitted segment: retract and retry.
+    M->unapp(T);
+    return StepStatus::Blocked;
+  }
+  return StepStatus::Progress;
+}

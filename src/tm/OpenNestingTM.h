@@ -1,0 +1,130 @@
+//===- tm/OpenNestingTM.h - Open nested transactions ------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open nesting (Ni et al., cited in Sections 1/4/6.3): an *outer*
+/// transaction contains open-nested segments whose abstract-level effects
+/// commit — become visible to everyone — when the segment finishes, long
+/// before the outer transaction does.  If the outer transaction later
+/// aborts, the already-committed segments cannot be rolled back with
+/// UNPUSH; instead *compensating actions* (abstract inverses: remove what
+/// was added, re-put what was overwritten) run as new transactions.
+///
+/// In PUSH/PULL terms each open segment is its own machine transaction —
+/// eagerly pushed (the paper notes the boosting-style "commutativity
+/// requirement is sufficient" for PUSH criterion (ii)) and CMT-ed at
+/// segment end — while the engine tracks, per outer transaction, the
+/// compensation program accumulated so far.  An outer abort queues the
+/// compensations (in reverse order) as front-of-queue transactions, the
+/// model-level image of the compensating-action discipline.
+///
+/// Abort injection is configurable; the engine's counters expose how many
+/// compensations ran, and tests check the compensated state matches a
+/// run in which the outer transaction never executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_OPENNESTINGTM_H
+#define PUSHPULL_TM_OPENNESTINGTM_H
+
+#include "tm/Engine.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace pushpull {
+
+/// One outer transaction: a sequence of open-nested segment bodies.
+struct OuterTx {
+  std::vector<CodePtr> Segments;
+};
+
+/// Computes the compensating call for a committed operation, or nullopt
+/// when the operation needs no compensation (e.g. a read, or an add that
+/// did not insert).  Per-spec providers below implement Figure 2's
+/// catch-block table, engine-side; compose them with inversesByObject.
+using InverseFn =
+    std::function<std::optional<MethodExpr>(const Operation &)>;
+
+/// set.add(k)=1 ~ set.remove(k);  set.remove(k)=1 ~ set.add(k).
+InverseFn setInverses();
+/// map.put(k,v)=Absent ~ map.remove(k);  map.put(k,v)=old ~ map.put(k,old);
+/// map.remove(k)=old ~ map.put(k,old).
+InverseFn mapInverses();
+/// c.inc(i) ~ c.dec(i);  c.dec(i) ~ c.inc(i);  c.add(i,k) ~ c.add(i,-k).
+InverseFn counterInverses();
+/// bank.deposit(a,k) ~ bank.withdraw(a,k);
+/// bank.withdraw(a,k)=1 ~ bank.deposit(a,k).  (Deposits that clamped at
+/// the cap are not exactly invertible; keep balances away from the cap.)
+InverseFn bankInverses();
+/// Route by the operation's object name; operations on unknown objects
+/// compensate to nothing.
+InverseFn inversesByObject(std::map<std::string, InverseFn> ByObject);
+
+/// Engine options.
+struct OpenNestingConfig {
+  uint64_t Seed = 1;
+  /// Probability (percent) that an outer transaction aborts between
+  /// segments, triggering compensation of everything committed so far.
+  unsigned OuterAbortPct = 0;
+  /// At most this many injected outer aborts per outer transaction.
+  unsigned MaxAbortsPerOuter = 1;
+  /// Compensation table; must cover every state-changing method the
+  /// outer transactions use.
+  InverseFn Inverse = setInverses();
+};
+
+/// The open-nesting engine.  Construct with the per-thread outer
+/// structure; the flattened segment bodies are what the machine sees.
+class OpenNestingTM : public TMEngine {
+public:
+  OpenNestingTM(PushPullMachine &M, std::vector<std::vector<OuterTx>> Outer,
+                OpenNestingConfig Config = {});
+
+  /// Register the threads' programs on \p M (call before running; the
+  /// constructor does this automatically).
+  std::string name() const override { return "open-nesting"; }
+  StepStatus step(TxId T) override;
+
+  /// Outer transactions that completed all segments.
+  uint64_t outerCommits() const { return OuterCommits; }
+  /// Outer aborts taken (each queues compensations).
+  uint64_t outerAborts() const { return OuterAborts; }
+  /// Compensating operations executed.
+  uint64_t compensationsRun() const { return CompensationsRun; }
+
+private:
+  struct PerThread {
+    Rng R{1};
+    /// Outer transactions remaining, front = current.
+    std::vector<OuterTx> Outers;
+    /// Segments of the current outer already committed.
+    size_t SegmentsDone = 0;
+    /// Compensation calls for the committed segments, in execution order.
+    std::vector<MethodExpr> Compensations;
+    /// True while the queued transactions are compensations (their own
+    /// commits must not re-register compensations).
+    bool Compensating = false;
+    unsigned AbortsThisOuter = 0;
+  };
+
+  /// Record compensations for the operations the just-committed machine
+  /// transaction performed (read off the trace tail via committedLog).
+  void recordCompensations(TxId T);
+  StepStatus abortOuter(TxId T);
+
+  OpenNestingConfig Config;
+  std::vector<PerThread> Per;
+  uint64_t OuterCommits = 0;
+  uint64_t OuterAborts = 0;
+  uint64_t CompensationsRun = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_OPENNESTINGTM_H

@@ -1,0 +1,67 @@
+//===- tm/OptimisticTM.h - TL2/TinySTM-style optimism -----------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.2: optimistic STMs (TL2, TinySTM, Intel STM) as a PUSH/PULL
+/// strategy.
+///
+///   * Transactions begin by PULLing all committed operations (there are
+///     never uncommitted ones in G between engine steps) — "simply viewing
+///     the shared state".
+///   * They then APP locally, sharing nothing.
+///   * At commit time — an uninterleaved moment — they PUSH everything in
+///     APP order and CMT.  PUSH criterion (i) is trivial (in-order), PUSH
+///     criterion (ii) is vacuous (no concurrent uncommitted entries), and
+///     PUSH criterion (iii) *is the read-set validation*: a stale read
+///     fails `allowed(G . op)` exactly when a conflicting transaction
+///     committed after our snapshot.
+///   * On validation failure the transaction rewinds with UNAPP/UNPULL
+///     only — an optimistic abort never needs UNPUSH — and retries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_OPTIMISTICTM_H
+#define PUSHPULL_TM_OPTIMISTICTM_H
+
+#include "tm/Engine.h"
+
+#include <vector>
+
+namespace pushpull {
+
+/// Engine options.
+struct OptimisticConfig {
+  uint64_t Seed = 1;
+};
+
+/// The Section 6.2 optimistic engine.
+class OptimisticTM : public TMEngine {
+public:
+  OptimisticTM(PushPullMachine &M, OptimisticConfig Config = {});
+
+  std::string name() const override { return "optimistic(tl2-style)"; }
+  StepStatus step(TxId T) override;
+
+  /// Number of UNPUSH rules this engine ever used — stays zero, the
+  /// Section 6.2 signature ("needn't UNPUSH").
+  uint64_t unpushesUsed() const { return 0; }
+
+private:
+  struct PerThread {
+    bool SnapshotDone = false;
+    Rng R{1};
+  };
+
+  StepStatus commitPhase(TxId T);
+  void abortAndRetry(TxId T);
+
+  std::vector<PerThread> Per;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_OPTIMISTICTM_H

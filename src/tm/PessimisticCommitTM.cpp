@@ -1,0 +1,119 @@
+//===- tm/PessimisticCommitTM.cpp - Matveev-Shavit pessimism ----------------===//
+
+#include "tm/PessimisticCommitTM.h"
+
+#include "lang/StepFin.h"
+
+using namespace pushpull;
+
+PessimisticCommitTM::PessimisticCommitTM(PushPullMachine &M,
+                                         PessimisticConfig Config)
+    : TMEngine(M), Config(std::move(Config)) {
+  Rng Root(this->Config.Seed);
+  Per.resize(M.threads().size());
+  for (PerThread &P : Per)
+    P.R = Root.split();
+}
+
+bool PessimisticCommitTM::isReadLike(const ResolvedCall &Call) const {
+  return Config.ReadMethods.count(Call.Method) != 0;
+}
+
+void PessimisticCommitTM::catchUpCommitted(TxId T) {
+  // Bring the local view up to date with the committed log.  Pull
+  // rejections are fine to skip: a rejected pull means the committed op
+  // conflicts with something we already did, and the criteria-guarded
+  // PUSH of our later operations will stall us until it is safe — the
+  // pessimistic waiting discipline.
+  const ThreadState &Th = M->thread(T);
+  for (size_t GI = 0; GI < M->global().size(); ++GI) {
+    const GlobalEntry &E = M->global()[GI];
+    if (E.Kind != GlobalKind::Committed || Th.L.contains(E.Op.Id))
+      continue;
+    M->pull(T, GI);
+  }
+}
+
+StepStatus PessimisticCommitTM::step(TxId T) {
+  const ThreadState &Th = M->thread(T);
+  if (Th.done())
+    return StepStatus::Finished;
+
+  if (!Th.InTx) {
+    M->beginTx(T);
+    // Classify: a transaction that may write needs the writer lock for
+    // its whole lifetime (one writer at a time).
+    Per[T].IsWriter = false;
+    for (const MethodExpr &ME : reachableMethods(M->thread(T).Code)) {
+      ResolvedCall Probe;
+      Probe.Method = ME.Method;
+      if (!isReadLike(Probe)) {
+        Per[T].IsWriter = true;
+        break;
+      }
+    }
+    Per[T].Began = false;
+    return StepStatus::Progress;
+  }
+
+  if (!Per[T].Began) {
+    if (Per[T].IsWriter) {
+      if (WriterLock != NoWriter && WriterLock != T)
+        return StepStatus::Blocked;
+      WriterLock = T;
+    }
+    Per[T].Began = true;
+    return StepStatus::Progress;
+  }
+
+  if (fin(Th.Code))
+    return commitPhase(T);
+
+  catchUpCommitted(T);
+  std::vector<AppChoice> Choices = M->appChoices(T);
+  if (Choices.empty())
+    return StepStatus::Blocked; // Wait for the world to change.
+  const AppChoice &C = Choices[Per[T].R.below(Choices.size())];
+  auto Call = C.Item.Call.resolve(M->thread(T).Sigma);
+  size_t CompIdx = Per[T].R.below(C.Completions.size());
+  if (!M->app(T, C.StepIdx, CompIdx).Applied)
+    return StepStatus::Blocked;
+
+  if (Call && isReadLike(*Call)) {
+    // Reads of committed state publish immediately.  A read that saw one
+    // of our own *buffered* writes cannot be published yet (G does not
+    // contain the write), so its push is rejected — leave it npshd and
+    // let the commit phase push it right after the write, in local order.
+    size_t Last = M->thread(T).L.size() - 1;
+    M->push(T, Last);
+  }
+  return StepStatus::Progress;
+}
+
+StepStatus PessimisticCommitTM::commitPhase(TxId T) {
+  // All-or-nothing push of the buffered writes.  If any push is rejected
+  // (PUSH criterion (ii): an uncommitted reader of that location is still
+  // live), roll back the pushes performed in this step and retry the whole
+  // phase later — no partial writer state ever crosses a step boundary,
+  // and nobody aborts.
+  std::vector<size_t> PushedNow;
+  for (size_t I : M->thread(T).L.indicesOf(LocalKind::NotPushed)) {
+    if (M->push(T, I).Applied) {
+      PushedNow.push_back(I);
+      continue;
+    }
+    for (size_t J = PushedNow.size(); J > 0; --J) {
+      [[maybe_unused]] bool Ok = M->unpush(T, PushedNow[J - 1]).Applied;
+      assert(Ok && "rolling back our own just-pushed op cannot fail");
+    }
+    ++WriterWaits;
+    return StepStatus::Blocked;
+  }
+  // A pessimistic commit cannot fail (everything pushed, pulls are
+  // committed-only); block defensively rather than wedge if it ever does.
+  if (!M->commit(T).Applied)
+    return StepStatus::Blocked;
+  if (WriterLock == T)
+    WriterLock = NoWriter;
+  return StepStatus::Committed;
+}

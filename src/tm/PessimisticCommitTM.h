@@ -1,0 +1,82 @@
+//===- tm/PessimisticCommitTM.h - Matveev-Shavit pessimism ------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.3: the fully pessimistic STM of Matveev & Shavit as a
+/// PUSH/PULL strategy — transactions never abort.
+///
+///   * Writes are buffered: APPlied locally, PUSHed only in the commit
+///     phase, which executes as one uninterleaved push-all+CMT so "write
+///     transactions appear to occur instantaneously at the commit point".
+///     At most one writer runs at a time (the engine's writer lock).
+///   * Reads view only committed state ("read operations perform PULL
+///     only on committed effects"): before each read the thread catches
+///     up on newly committed operations, APPlies the read and PUSHes it
+///     immediately.
+///   * Pessimism emerges from the criteria: a writer's commit-time PUSH
+///     of write(x) is *rejected* while another thread has an uncommitted
+///     pushed read of x in G (PUSH criterion (ii): the read cannot move
+///     right of the write) — so the writer waits for readers to drain
+///     rather than aborting anyone.  A failed push-all is rolled back
+///     within the same step and retried later, so partial writer state is
+///     never visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_TM_PESSIMISTICCOMMITTM_H
+#define PUSHPULL_TM_PESSIMISTICCOMMITTM_H
+
+#include "tm/Engine.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// Engine options.
+struct PessimisticConfig {
+  uint64_t Seed = 1;
+  /// Method names treated as read-like (pushed eagerly; skipped by
+  /// catch-up pulls of other threads implicitly via criteria).
+  std::set<std::string> ReadMethods = {"read", "get", "contains",
+                                       "containsKey", "size"};
+};
+
+/// The Section 6.3 Matveev-Shavit engine.
+class PessimisticCommitTM : public TMEngine {
+public:
+  PessimisticCommitTM(PushPullMachine &M, PessimisticConfig Config = {});
+
+  std::string name() const override { return "pessimistic(matveev-shavit)"; }
+  StepStatus step(TxId T) override;
+
+  /// Times a writer's commit phase had to back off and wait for readers.
+  uint64_t writerWaits() const { return WriterWaits; }
+
+private:
+  struct PerThread {
+    bool Began = false;
+    bool IsWriter = false;
+    Rng R{1};
+  };
+
+  bool isReadLike(const ResolvedCall &Call) const;
+  void catchUpCommitted(TxId T);
+  StepStatus commitPhase(TxId T);
+
+  PessimisticConfig Config;
+  std::vector<PerThread> Per;
+  /// TxId of the writer-lock holder, or NoWriter.
+  static constexpr TxId NoWriter = static_cast<TxId>(-1);
+  TxId WriterLock = NoWriter;
+  uint64_t WriterWaits = 0;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_TM_PESSIMISTICCOMMITTM_H

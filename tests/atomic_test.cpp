@@ -1,0 +1,143 @@
+//===- tests/atomic_test.cpp - Figure 3 atomic semantics --------------------===//
+
+#include "core/Atomic.h"
+
+#include "TestUtil.h"
+#include "lang/Parser.h"
+#include "spec/RegisterSpec.h"
+#include "spec/SetSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+using testutil::mkOp;
+
+TEST(Atomic, StraightLineSingleOutcome) {
+  RegisterSpec S("mem", 2, 3);
+  AtomicMachine A(S);
+  CodePtr C = parseOrDie("mem.write(0, 2); v := mem.read(0)");
+  auto Outs = A.bigStep(C, Stack(), {});
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Sigma.getOrDie("v"), 2);
+  ASSERT_EQ(Outs[0].Log.size(), 2u);
+  EXPECT_EQ(Outs[0].Log[1].Result, Value(2));
+}
+
+TEST(Atomic, ResultsFlowThroughStack) {
+  RegisterSpec S("mem", 2, 3);
+  AtomicMachine A(S);
+  CodePtr C = parseOrDie("mem.write(0, 2); v := mem.read(0); mem.write(1, v)");
+  auto Outs = A.bigStep(C, Stack(), {});
+  ASSERT_EQ(Outs.size(), 1u);
+  // Register 1 ends holding register 0's value.
+  EXPECT_EQ(Outs[0].Log[2].Call.Args, (std::vector<Value>{1, 2}));
+}
+
+TEST(Atomic, ChoiceEnumeratesBothBranches) {
+  RegisterSpec S("mem", 1, 3);
+  AtomicMachine A(S);
+  CodePtr C = parseOrDie("mem.write(0, 1) + mem.write(0, 2)");
+  auto Outs = A.bigStep(C, Stack(), {});
+  EXPECT_EQ(Outs.size(), 2u);
+}
+
+TEST(Atomic, LoopOutcomesBounded) {
+  RegisterSpec S("mem", 1, 2);
+  AtomicLimits Limits;
+  Limits.MaxOpsPerTx = 3;
+  AtomicMachine A(S, Limits);
+  CodePtr C = parseOrDie("(mem.write(0, 1))*");
+  auto Outs = A.bigStep(C, Stack(), {});
+  // 0, 1, 2 or 3 iterations.
+  EXPECT_EQ(Outs.size(), 4u);
+}
+
+TEST(Atomic, SkipHasExactlyOneOutcome) {
+  RegisterSpec S("mem", 1, 2);
+  AtomicMachine A(S);
+  auto Outs = A.bigStep(skip(), Stack(), {});
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_TRUE(Outs[0].Log.empty());
+}
+
+TEST(Atomic, StuckPathsProduceNoOutcome) {
+  RegisterSpec S("mem", 1, 2);
+  AtomicMachine A(S);
+  // Out-of-domain write: the only path is stuck, no outcomes.
+  auto Outs = A.bigStep(parseOrDie("mem.write(7, 1)"), Stack(), {});
+  EXPECT_TRUE(Outs.empty());
+  EXPECT_FALSE(A.canRun(parseOrDie("mem.write(7, 1)"), Stack(), {}));
+  // But a choice with one viable branch still completes.
+  EXPECT_TRUE(
+      A.canRun(parseOrDie("mem.write(7, 1) + mem.write(0, 1)"), Stack(), {}));
+}
+
+TEST(Atomic, LogPrefixRespected) {
+  RegisterSpec S("mem", 1, 3);
+  AtomicMachine A(S);
+  std::vector<Operation> Base = {mkOp(100, "mem", "write", {0, 2}, 2)};
+  auto Outs = A.bigStep(parseOrDie("v := mem.read(0)"), Stack(), Base);
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Sigma.getOrDie("v"), 2) << "reads see the base log";
+  EXPECT_EQ(Outs[0].Log.size(), 2u) << "outcome includes the base prefix";
+}
+
+TEST(Atomic, SearchSerialRunsInOrder) {
+  SetSpec S("set", 2);
+  AtomicMachine A(S);
+  std::vector<AtomicTx> Txs = {
+      {parseOrDie("a := set.add(1)"), Stack()},
+      {parseOrDie("b := set.add(1)"), Stack()},
+  };
+  std::vector<std::vector<Value>> Results;
+  A.searchSerial(Txs, {}, [&](const AtomicOutcome &O) {
+    std::vector<Value> Rs;
+    for (const Operation &Op : O.Log)
+      Rs.push_back(*Op.Result);
+    Results.push_back(Rs);
+    return false;
+  });
+  // Exactly one serial outcome: first add succeeds, second fails.
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(Results[0], (std::vector<Value>{1, 0}));
+}
+
+TEST(Atomic, SearchSerialEarlyExit) {
+  RegisterSpec S("mem", 1, 3);
+  AtomicMachine A(S);
+  std::vector<AtomicTx> Txs = {
+      {parseOrDie("mem.write(0, 1) + mem.write(0, 2)"), Stack()},
+  };
+  int Seen = 0;
+  bool Found = A.searchSerial(Txs, {}, [&](const AtomicOutcome &) {
+    ++Seen;
+    return true; // Stop at the first outcome.
+  });
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(Seen, 1);
+}
+
+TEST(Atomic, SearchSerialThreadsStacksPerTransaction) {
+  RegisterSpec S("mem", 2, 3);
+  AtomicMachine A(S);
+  Stack Sig1;
+  Sig1.set("v", 2);
+  std::vector<AtomicTx> Txs = {
+      {parseOrDie("mem.write(0, v)"), Sig1},
+      {parseOrDie("w := mem.read(0)"), Stack()},
+  };
+  bool Found = A.searchSerial(Txs, {}, [&](const AtomicOutcome &O) {
+    return O.Log.size() == 2 && O.Log[1].Result == Value(2);
+  });
+  EXPECT_TRUE(Found);
+}
+
+TEST(Atomic, OutcomeCapTruncates) {
+  RegisterSpec S("mem", 1, 2);
+  AtomicLimits Limits;
+  Limits.MaxOutcomes = 2;
+  AtomicMachine A(S, Limits);
+  CodePtr C = parseOrDie("(mem.write(0, 1))*");
+  auto Outs = A.bigStep(C, Stack(), {});
+  EXPECT_LE(Outs.size(), 2u);
+}

@@ -1,0 +1,183 @@
+//===- tests/fig7_test.cpp - Figure 7: boosting/HTM interaction --------------===//
+//
+// The exact rule sequence of Figure 7, replayed step by step through the
+// machine with every criterion checked:
+//
+//   Transaction begins.    PULL(all skiplist operations)
+//                          APP(skiplist.insert(foo)), PUSH(...)
+//                          APP(size++)
+//                          PULL(all hashT operations)
+//                          APP(hashT.map(foo=>bar)), PUSH(...)
+//                          APP(x++)
+//   Push HTM ops:          PUSH(size++), PUSH(x++)
+//   HTM signals abort:     UNPUSH(x++), UNPUSH(size++)
+//   Rewind some code:      UNAPP(x++)
+//   March forward again:   APP(y++)
+//   Uninterleaved commit:  PUSH(size++), PUSH(y++), CMT
+//
+// The distinctive behaviours: HTM effects are published *after* boosted
+// effects that followed them locally (PUSH criterion (i) at work), and on
+// abort the HTM batch is retracted while the expensive boosted effects
+// stay in the shared log.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Serializability.h"
+#include "lang/Parser.h"
+#include "sim/Scheduler.h"
+#include "spec/CompositeSpec.h"
+#include "spec/CounterSpec.h"
+#include "spec/MapSpec.h"
+#include "spec/SetSpec.h"
+#include "tm/HybridHtmBoostingTM.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace pushpull;
+
+namespace {
+
+std::shared_ptr<CompositeSpec> fig7Spec() {
+  auto S = std::make_shared<CompositeSpec>();
+  S->add("skiplist", std::make_shared<SetSpec>("skiplist", 4));
+  S->add("hashT", std::make_shared<MapSpec>("hashT", 4, 4));
+  S->add("size", std::make_shared<CounterSpec>("size", 1, 8));
+  S->add("x", std::make_shared<CounterSpec>("x", 1, 8));
+  S->add("y", std::make_shared<CounterSpec>("y", 1, 8));
+  return S;
+}
+
+/// The Section 7 transaction: foo=1, bar=2.
+CodePtr fig7Tx() {
+  return parseOrDie("tx { s := skiplist.add(1); size.inc(0); "
+                    "h := hashT.put(1, 2); (x.inc(0) + y.inc(0)) }");
+}
+
+} // namespace
+
+TEST(Figure7, ExactRuleSequenceValidates) {
+  auto Spec = fig7Spec();
+  MoverChecker Movers(*Spec);
+  PushPullMachine M(*Spec, Movers);
+  TxId T = M.addThread({fig7Tx()});
+  ASSERT_TRUE(M.beginTx(T));
+
+  // APP(skiplist.insert(foo)), PUSH — boosted, eager.
+  ASSERT_TRUE(M.app(T, 0, 0).Applied);
+  ASSERT_TRUE(M.push(T, 0).Applied);
+  // APP(size++) — HTM, deferred.
+  ASSERT_TRUE(M.app(T, 0, 0).Applied);
+  // APP(hashT.map(foo=>bar)), PUSH — boosted, eager.  The push happens
+  // *after* the unpushed size++ in the local log: PUSH criterion (i)
+  // requires hashT.put to move left of the buffered size++, which holds
+  // across objects.
+  ASSERT_TRUE(M.app(T, 0, 0).Applied);
+  RuleResult PutPush = M.push(T, 2);
+  ASSERT_TRUE(PutPush.Applied) << PutPush.toString();
+  // APP(x++): take the left branch of (x.inc + y.inc).
+  {
+    auto Choices = M.appChoices(T);
+    ASSERT_EQ(Choices.size(), 2u);
+    ASSERT_EQ(Choices[0].Item.Call.Object, "x");
+    ASSERT_TRUE(M.app(T, Choices[0].StepIdx, 0).Applied);
+  }
+
+  // Push HTM ops: PUSH(size++), PUSH(x++).
+  ASSERT_TRUE(M.push(T, 1).Applied);
+  ASSERT_TRUE(M.push(T, 3).Applied);
+  ASSERT_EQ(M.global().size(), 4u);
+
+  // HTM signals abort: UNPUSH(x++), UNPUSH(size++) — the boosted entries
+  // stay in G.
+  ASSERT_TRUE(M.unpush(T, 3).Applied);
+  ASSERT_TRUE(M.unpush(T, 1).Applied);
+  ASSERT_EQ(M.global().size(), 2u);
+  EXPECT_EQ(M.global()[0].Op.Call.Object, "skiplist");
+  EXPECT_EQ(M.global()[1].Op.Call.Object, "hashT");
+
+  // Rewind some code: UNAPP(x++) only.
+  ASSERT_TRUE(M.unapp(T).Applied);
+  ASSERT_EQ(M.thread(T).L.size(), 3u);
+
+  // March forward again: APP(y++) — the restored code re-offers the
+  // choice; take the right branch this time.
+  {
+    auto Choices = M.appChoices(T);
+    ASSERT_EQ(Choices.size(), 2u);
+    ASSERT_EQ(Choices[1].Item.Call.Object, "y");
+    ASSERT_TRUE(M.app(T, Choices[1].StepIdx, 0).Applied);
+  }
+
+  // Uninterleaved commit: PUSH(size++), PUSH(y++), CMT.
+  ASSERT_TRUE(M.push(T, 1).Applied);
+  ASSERT_TRUE(M.push(T, 3).Applied);
+  ASSERT_TRUE(M.commit(T).Applied);
+
+  // Final committed state: skiplist has foo, hashT maps foo->bar,
+  // size = 1, y = 1, x = 0.
+  StateSet Final = Spec->denote(M.committedLog());
+  auto Expect = [&](const char *Obj, const char *Mth, std::vector<Value> A,
+                    Value R) {
+    auto Cs = Spec->completionsFrom(Final, {Obj, Mth, std::move(A)});
+    ASSERT_EQ(Cs.size(), 1u);
+    EXPECT_EQ(Cs[0].Result, R) << Obj << "." << Mth;
+  };
+  Expect("skiplist", "contains", {1}, 1);
+  Expect("hashT", "get", {1}, 2);
+  Expect("size", "read", {0}, 1);
+  Expect("x", "read", {0}, 0);
+  Expect("y", "read", {0}, 1);
+
+  SerializabilityChecker Oracle(*Spec);
+  EXPECT_EQ(Oracle.checkCommitOrder(M).Serializable, Tri::Yes);
+
+  // The trace exhibits the Figure 7 signature.
+  EXPECT_EQ(M.trace().countOf(RuleKind::UnPush), 2u);
+  EXPECT_EQ(M.trace().countOf(RuleKind::UnApp), 1u);
+  EXPECT_EQ(M.trace().countOf(RuleKind::Push), 6u);
+}
+
+TEST(Figure7, HybridEngineReproducesRetraction) {
+  auto Spec = fig7Spec();
+  MoverChecker Movers(*Spec);
+  PushPullMachine M(*Spec, Movers);
+  M.addThread({fig7Tx()});
+  HybridConfig HC;
+  HC.HtmObjects = {"size", "x", "y"};
+  HC.ConflictChancePct = 100; // Force one injected HTM abort.
+  HC.MaxInjectedPerTx = 1;
+  HybridHtmBoostingTM E(M, HC);
+  Scheduler Sched({SchedulePolicy::RoundRobin, 1, 50000});
+  RunStats St = Sched.run(E);
+  ASSERT_TRUE(St.Quiescent);
+  EXPECT_EQ(E.htmRetractions(), 1u);
+  EXPECT_GT(E.boostedOpsPreserved(), 0u)
+      << "boosted effects must survive the HTM retraction";
+  EXPECT_GT(St.ruleCount(RuleKind::UnPush), 0u);
+  SerializabilityChecker Oracle(*Spec);
+  EXPECT_EQ(Oracle.checkCommitOrder(M).Serializable, Tri::Yes);
+}
+
+TEST(Figure7, ConcurrentHybridThreadsSerializable) {
+  auto Spec = fig7Spec();
+  MoverChecker Movers(*Spec);
+  PushPullMachine M(*Spec, Movers);
+  // Two hybrid transactions touching overlapping boosted keys and the
+  // same HTM counters.
+  M.addThread({fig7Tx()});
+  M.addThread({parseOrDie(
+      "tx { s := skiplist.add(2); size.inc(0); (x.inc(0) + y.inc(0)) }")});
+  HybridConfig HC;
+  HC.HtmObjects = {"size", "x", "y"};
+  HC.ConflictChancePct = 50;
+  HC.Seed = 9;
+  HybridHtmBoostingTM E(M, HC);
+  Scheduler Sched({SchedulePolicy::RandomUniform, 9, 100000});
+  RunStats St = Sched.run(E);
+  ASSERT_TRUE(St.Quiescent);
+  EXPECT_EQ(St.Commits, 2u);
+  SerializabilityChecker Oracle(*Spec);
+  EXPECT_EQ(Oracle.checkCommitOrder(M).Serializable, Tri::Yes);
+}

@@ -1,0 +1,184 @@
+//===- tests/invariants_test.cpp - Section 5.3 invariants -------------------===//
+//
+// The Lemma 5.7-5.13 invariants as runtime checks: they hold at every
+// hand-built configuration reached through the rules, along randomized
+// engine runs, and the derived precongruence facts hold too.  A
+// deliberately corrupted configuration is rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Invariants.h"
+
+#include "TestUtil.h"
+#include "lang/Parser.h"
+#include "sim/Scheduler.h"
+#include "sim/Workload.h"
+#include "spec/RegisterSpec.h"
+#include "spec/SetSpec.h"
+#include "tm/BoostingTM.h"
+#include "tm/OptimisticTM.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+
+namespace {
+
+void expectAllInvariants(const PushPullMachine &M, MoverChecker &Movers) {
+  for (const ThreadState &Th : M.threads()) {
+    InvariantReport R = checkAllInvariants(Th, M.global(), Movers);
+    EXPECT_TRUE(R.Holds) << R.Which << ": " << R.Detail;
+  }
+}
+
+void expectDerivedInvariants(const PushPullMachine &M,
+                             PrecongruenceChecker &Pre,
+                             const SequentialSpec &Spec) {
+  for (const ThreadState &Th : M.threads()) {
+    InvariantReport A = checkISlidePushed(Th, M.global(), Pre, Spec);
+    EXPECT_TRUE(A.Holds) << A.Which << ": " << A.Detail;
+    InvariantReport B = checkIChronPush(Th, M.global(), Pre, Spec);
+    EXPECT_TRUE(B.Holds) << B.Which << ": " << B.Detail;
+    InvariantReport C = checkILocalReorder(Th, M.global(), Pre, Spec);
+    EXPECT_TRUE(C.Holds) << C.Which << ": " << C.Detail;
+  }
+}
+
+} // namespace
+
+TEST(Invariants, HoldAlongHandBuiltRun) {
+  SetSpec Spec("set", 3);
+  MoverChecker Movers(Spec);
+  PrecongruenceChecker Pre(Spec);
+  PushPullMachine M(Spec, Movers);
+  TxId T0 = M.addThread({parseOrDie("tx { a := set.add(0); b := set.add(1) }")});
+  TxId T1 = M.addThread({parseOrDie("tx { c := set.add(2) }")});
+  ASSERT_TRUE(M.beginTx(T0));
+  ASSERT_TRUE(M.beginTx(T1));
+
+  auto CheckAll = [&] {
+    expectAllInvariants(M, Movers);
+    expectDerivedInvariants(M, Pre, Spec);
+  };
+  CheckAll();
+  ASSERT_TRUE(M.app(T0, 0, 0).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.push(T0, 0).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.app(T1, 0, 0).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.push(T1, 0).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.app(T0, 0, 0).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.push(T0, 1).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.commit(T0).Applied);
+  CheckAll();
+  ASSERT_TRUE(M.commit(T1).Applied);
+  CheckAll();
+}
+
+TEST(Invariants, ILGDetectsCorruption) {
+  SetSpec Spec("set", 2);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  TxId T = M.addThread({parseOrDie("tx { a := set.add(0) }")});
+  ASSERT_TRUE(M.beginTx(T));
+  ASSERT_TRUE(M.app(T, 0, 0).Applied);
+
+  // Hand-corrupt a copy of the thread state: claim pushed without a G
+  // entry.
+  ThreadState Corrupt = M.thread(T);
+  Corrupt.L.setKind(0, LocalKind::Pushed);
+  InvariantReport R = checkILG(Corrupt, M.global());
+  EXPECT_FALSE(R.Holds);
+  EXPECT_EQ(R.Which, "I_LG");
+}
+
+TEST(Invariants, ILocalOrderDetectsIllegalOutOfOrderPush) {
+  // Build a local log where a pushed op follows an unpushed conflicting
+  // one — only constructible by bypassing criteria (Trusting mode).  Two
+  // same-register writes of different values: the later one cannot move
+  // left of the earlier.
+  RegisterSpec Spec("mem", 1, 3);
+  MoverChecker Movers(Spec);
+  MachineConfig MC;
+  MC.Level = ValidationLevel::Trusting;
+  PushPullMachine M(Spec, Movers, MC);
+  TxId T = M.addThread({parseOrDie("tx { mem.write(0, 1); mem.write(0, 2) }")});
+  ASSERT_TRUE(M.beginTx(T));
+  ASSERT_TRUE(M.app(T, 0, 0).Applied); // write(0,1), npshd
+  ASSERT_TRUE(M.app(T, 0, 0).Applied); // write(0,2), npshd
+  ASSERT_TRUE(M.push(T, 1).Applied);   // push the second only (illegal).
+  InvariantReport R = checkILocalOrder(M.thread(T), Movers);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_EQ(R.Which, "I_localOrder");
+}
+
+TEST(Invariants, ISlideRDetectsCriterionIIViolation) {
+  RegisterSpec Spec("mem", 1, 2);
+  MoverChecker Movers(Spec);
+  MachineConfig MC;
+  MC.Level = ValidationLevel::Trusting;
+  PushPullMachine M(Spec, Movers, MC);
+  TxId T0 = M.addThread({parseOrDie("tx { v := mem.read(0) }")});
+  TxId T1 = M.addThread({parseOrDie("tx { mem.write(0, 1) }")});
+  ASSERT_TRUE(M.beginTx(T0));
+  ASSERT_TRUE(M.beginTx(T1));
+  ASSERT_TRUE(M.app(T0, 0, 0).Applied);
+  ASSERT_TRUE(M.push(T0, 0).Applied);
+  ASSERT_TRUE(M.app(T1, 0, 0).Applied);
+  ASSERT_TRUE(M.push(T1, 0).Applied); // Would fail criterion (ii) normally.
+  InvariantReport R = checkISlideR(M.thread(T0), M.global(), Movers);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_EQ(R.Which, "I_slideR");
+}
+
+TEST(Invariants, FullModeRunsCleanEngineRun) {
+  SetSpec Spec("set", 4);
+  MoverChecker Movers(Spec);
+  MachineConfig MC;
+  MC.Level = ValidationLevel::Full; // Invariants asserted after every rule.
+  PushPullMachine M(Spec, Movers, MC);
+  WorkloadConfig WC;
+  WC.Threads = 3;
+  WC.TxPerThread = 2;
+  WC.OpsPerTx = 2;
+  WC.KeyRange = 4;
+  WC.Seed = 5;
+  for (auto &P : genSetWorkload(Spec, WC))
+    M.addThread(P);
+  BoostingTM E(M);
+  Scheduler Sched({SchedulePolicy::RandomUniform, 5, 20000});
+  RunStats St = Sched.run(E);
+  EXPECT_TRUE(St.Quiescent);
+}
+
+TEST(Invariants, HoldAfterEveryStepOfOptimisticRun) {
+  RegisterSpec Spec("mem", 3, 2);
+  MoverChecker Movers(Spec);
+  PrecongruenceChecker Pre(Spec);
+  PushPullMachine M(Spec, Movers);
+  WorkloadConfig WC;
+  WC.Threads = 3;
+  WC.TxPerThread = 2;
+  WC.OpsPerTx = 2;
+  WC.KeyRange = 3;
+  WC.Seed = 11;
+  for (auto &P : genRegisterWorkload(Spec, WC))
+    M.addThread(P);
+  OptimisticTM E(M);
+  Rng R(3);
+  uint64_t Steps = 0;
+  while (!M.quiescent() && Steps++ < 5000) {
+    std::vector<TxId> Runnable;
+    for (const ThreadState &Th : M.threads())
+      if (!Th.done())
+        Runnable.push_back(Th.Tid);
+    E.step(R.pick(Runnable));
+    expectAllInvariants(M, Movers);
+  }
+  ASSERT_TRUE(M.quiescent());
+  expectDerivedInvariants(M, Pre, Spec);
+}

@@ -1,0 +1,181 @@
+//===- tests/open_nesting_test.cpp - Open nested transactions -----------------===//
+
+#include "tm/OpenNestingTM.h"
+
+#include "check/Serializability.h"
+#include "lang/Parser.h"
+#include "sim/Scheduler.h"
+#include "spec/MapSpec.h"
+#include "spec/SetSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+
+namespace {
+
+/// Current value of set.contains(K) / map.get(K) over the committed log.
+Value observe(const SequentialSpec &Spec, const PushPullMachine &M,
+              const ResolvedCall &Call) {
+  auto Cs = Spec.completionsFrom(Spec.denote(M.committedLog()), Call);
+  EXPECT_EQ(Cs.size(), 1u);
+  return Cs.empty() || !Cs[0].Result ? Value(-99) : *Cs[0].Result;
+}
+
+} // namespace
+
+TEST(Inverses, SetTable) {
+  InverseFn Inv = setInverses();
+  Operation Add;
+  Add.Call = {"s", "add", {3}};
+  Add.Result = 1;
+  auto R = Inv(Add);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Method, "remove");
+  Add.Result = 0; // Did not insert: nothing to compensate.
+  EXPECT_FALSE(Inv(Add).has_value());
+  Operation Has;
+  Has.Call = {"s", "contains", {3}};
+  Has.Result = 1;
+  EXPECT_FALSE(Inv(Has).has_value());
+}
+
+TEST(Inverses, MapTable) {
+  InverseFn Inv = mapInverses();
+  Operation Put;
+  Put.Call = {"m", "put", {1, 2}};
+  Put.Result = MapSpec::Absent;
+  auto R = Inv(Put);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Method, "remove");
+  Put.Result = 3; // Overwrote 3: compensation restores it.
+  R = Inv(Put);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Method, "put");
+  EXPECT_EQ(std::get<Value>(R->Args[1]), 3);
+}
+
+TEST(Inverses, CounterAndBankTables) {
+  InverseFn C = counterInverses();
+  Operation Inc;
+  Inc.Call = {"c", "inc", {0}};
+  EXPECT_EQ(C(Inc)->Method, "dec");
+  Operation AddK;
+  AddK.Call = {"c", "add", {0, 3}};
+  EXPECT_EQ(std::get<Value>(C(AddK)->Args[1]), -3);
+
+  InverseFn B = bankInverses();
+  Operation Dep;
+  Dep.Call = {"b", "deposit", {0, 2}};
+  EXPECT_EQ(B(Dep)->Method, "withdraw");
+  Operation Wd;
+  Wd.Call = {"b", "withdraw", {0, 2}};
+  Wd.Result = 0; // Failed: nothing to undo.
+  EXPECT_FALSE(B(Wd).has_value());
+}
+
+TEST(Inverses, RoutingByObject) {
+  InverseFn Inv = inversesByObject(
+      {{"s", setInverses()}, {"c", counterInverses()}});
+  Operation Add;
+  Add.Call = {"s", "add", {1}};
+  Add.Result = 1;
+  EXPECT_TRUE(Inv(Add).has_value());
+  Operation Other;
+  Other.Call = {"unknown", "add", {1}};
+  Other.Result = 1;
+  EXPECT_FALSE(Inv(Other).has_value());
+}
+
+TEST(OpenNesting, SegmentsCommitIndependently) {
+  SetSpec Spec("s", 4);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  std::vector<std::vector<OuterTx>> Outer = {
+      {OuterTx{{parseOrDie("tx { a := s.add(0) }"),
+                parseOrDie("tx { b := s.add(1) }")}}}};
+  OpenNestingTM E(M, Outer);
+
+  // Run just the first segment to completion.
+  while (M.trace().countOf(RuleKind::Commit) < 1) {
+    StepStatus S = E.step(0);
+    ASSERT_NE(S, StepStatus::Finished);
+  }
+  // The open segment's effect is committed — visible to everyone —
+  // although the outer transaction is not finished.
+  EXPECT_EQ(observe(Spec, M, {"s", "contains", {0}}), 1);
+  EXPECT_EQ(E.outerCommits(), 0u);
+
+  while (M.trace().countOf(RuleKind::Commit) < 2)
+    E.step(0);
+  EXPECT_EQ(E.outerCommits(), 1u);
+  SerializabilityChecker Oracle(Spec);
+  EXPECT_EQ(Oracle.checkCommitOrder(M).Serializable, Tri::Yes);
+}
+
+TEST(OpenNesting, OuterAbortCompensatesCommittedSegments) {
+  SetSpec Spec("s", 4);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  std::vector<std::vector<OuterTx>> Outer = {
+      {OuterTx{{parseOrDie("tx { a := s.add(0) }"),
+                parseOrDie("tx { b := s.add(1) }")}}}};
+  OpenNestingConfig OC;
+  OC.OuterAbortPct = 100; // Abort after the first segment, once.
+  OC.MaxAbortsPerOuter = 1;
+  OpenNestingTM E(M, Outer, OC);
+  Scheduler Sched({SchedulePolicy::RoundRobin, 1, 50000});
+  RunStats St = Sched.run(E);
+  ASSERT_TRUE(St.Quiescent);
+  EXPECT_EQ(E.outerAborts(), 1u);
+  EXPECT_GT(E.compensationsRun(), 0u);
+  EXPECT_EQ(E.outerCommits(), 1u) << "the retry completes";
+  // The retry re-added both elements; the compensation removed the first
+  // attempt's add.  Final state: both present exactly once.
+  EXPECT_EQ(observe(Spec, M, {"s", "contains", {0}}), 1);
+  EXPECT_EQ(observe(Spec, M, {"s", "contains", {1}}), 1);
+  // Crucially, the abort used COMPENSATION (a fresh remove transaction),
+  // not UNPUSH of the committed segment.
+  EXPECT_EQ(St.ruleCount(RuleKind::UnPush), 0u);
+  SerializabilityChecker Oracle(Spec);
+  EXPECT_EQ(Oracle.checkCommitOrder(M).Serializable, Tri::Yes);
+}
+
+TEST(OpenNesting, AbortBeforeAnyCommitJustRestarts) {
+  SetSpec Spec("s", 4);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  std::vector<std::vector<OuterTx>> Outer = {
+      {OuterTx{{parseOrDie("tx { a := s.add(0) }")}}}};
+  OpenNestingConfig OC;
+  OC.OuterAbortPct = 100;
+  OpenNestingTM E(M, Outer, OC);
+  Scheduler Sched({SchedulePolicy::RoundRobin, 1, 50000});
+  RunStats St = Sched.run(E);
+  ASSERT_TRUE(St.Quiescent);
+  // Single-segment outers never abort "between segments".
+  EXPECT_EQ(E.outerAborts(), 0u);
+  EXPECT_EQ(E.outerCommits(), 1u);
+}
+
+TEST(OpenNesting, ConcurrentOutersSerializable) {
+  MapSpec Spec("m", 4, 4);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  std::vector<std::vector<OuterTx>> Outer = {
+      {OuterTx{{parseOrDie("tx { a := m.put(0, 1) }"),
+                parseOrDie("tx { b := m.put(1, 1) }")}}},
+      {OuterTx{{parseOrDie("tx { c := m.put(2, 2) }"),
+                parseOrDie("tx { d := m.put(1, 2) }")}}}};
+  OpenNestingConfig OC;
+  OC.OuterAbortPct = 50;
+  OC.Inverse = mapInverses();
+  OC.Seed = 5;
+  OpenNestingTM E(M, Outer, OC);
+  Scheduler Sched({SchedulePolicy::RandomUniform, 5, 100000});
+  RunStats St = Sched.run(E);
+  ASSERT_TRUE(St.Quiescent);
+  EXPECT_EQ(E.outerCommits(), 2u);
+  SerializabilityChecker Oracle(Spec);
+  EXPECT_EQ(Oracle.checkCommitOrder(M).Serializable, Tri::Yes);
+}

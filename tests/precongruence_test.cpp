@@ -1,0 +1,238 @@
+//===- tests/precongruence_test.cpp - Definition 3.1 ------------------------===//
+//
+// Laws of the shared-log precongruence: reflexivity, transitivity
+// (Lemma 5.2), closure under append (Lemma 5.3), the interplay with
+// left-movers (Lemma 5.1), observational coarseness (unobservable state
+// differences are permitted — the point of the coinductive definition),
+// and resource-bounded Unknown answers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Precongruence.h"
+
+#include "TestUtil.h"
+#include "spec/RegisterSpec.h"
+#include "spec/SetSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+using testutil::mkOp;
+
+namespace {
+
+Operation rd(Value R, Value V, OpId Id = 1) {
+  return mkOp(Id, "mem", "read", {R}, V);
+}
+Operation wr(Value R, Value V, OpId Id = 1) {
+  return mkOp(Id, "mem", "write", {R, V}, V);
+}
+
+/// A spec with a hidden bit that no observation can see: "flip" toggles
+/// it, "obs" always returns 0.  Distinct states, identical behaviours —
+/// exercises that precongruence is *observational*, not state equality.
+class HiddenBitSpec : public SequentialSpec {
+public:
+  std::string name() const override { return "hiddenbit"; }
+  std::vector<State> initialStates() const override { return {"0"}; }
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override {
+    if (Op.Call.Method == "flip")
+      return {S == "0" ? "1" : "0"};
+    if (Op.Call.Method == "obs") {
+      if (!Op.Result || *Op.Result != 0)
+        return {};
+      return {S};
+    }
+    return {};
+  }
+  std::vector<Completion> completions(const State &,
+                                      const ResolvedCall &Call)
+      const override {
+    if (Call.Method == "flip")
+      return {Completion{std::nullopt}};
+    if (Call.Method == "obs")
+      return {Completion{Value(0)}};
+    return {};
+  }
+  std::vector<Operation> probeOps() const override {
+    return {mkOp(0, "h", "flip"), mkOp(0, "h", "obs", {}, 0)};
+  }
+};
+
+/// A nondeterministic spec: "toss" scatters the state to {H, T}; "peek"
+/// observes it.  [toss] admits strictly more behaviours than [].
+class CoinSpec : public SequentialSpec {
+public:
+  std::string name() const override { return "coin"; }
+  std::vector<State> initialStates() const override { return {"H"}; }
+  std::vector<State> successors(const State &S,
+                                const Operation &Op) const override {
+    if (Op.Call.Method == "toss")
+      return {"H", "T"};
+    if (Op.Call.Method == "peek") {
+      if (!Op.Result)
+        return {};
+      if ((S == "H") != (*Op.Result == 0))
+        return {};
+      return {S};
+    }
+    return {};
+  }
+  std::vector<Completion> completions(const State &S,
+                                      const ResolvedCall &Call)
+      const override {
+    if (Call.Method == "toss")
+      return {Completion{std::nullopt}};
+    if (Call.Method == "peek")
+      return {Completion{S == "H" ? Value(0) : Value(1)}};
+    return {};
+  }
+  std::vector<Operation> probeOps() const override {
+    return {mkOp(0, "c", "toss"), mkOp(0, "c", "peek", {}, 0),
+            mkOp(0, "c", "peek", {}, 1)};
+  }
+};
+
+} // namespace
+
+TEST(Precongruence, Reflexive) {
+  RegisterSpec S("mem", 2, 2);
+  PrecongruenceChecker P(S);
+  EXPECT_EQ(P.checkLogs({}, {}), Tri::Yes);
+  EXPECT_EQ(P.checkLogs({wr(0, 1, 1)}, {wr(0, 1, 2)}), Tri::Yes);
+}
+
+TEST(Precongruence, DisallowedLeftIsBottom) {
+  RegisterSpec S("mem", 2, 2);
+  PrecongruenceChecker P(S);
+  // A disallowed log is =< everything (allowed l1 never holds).
+  EXPECT_EQ(P.checkLogs({rd(0, 1)}, {}), Tri::Yes);
+  // ...and nothing allowed is =< a disallowed log.
+  EXPECT_EQ(P.checkLogs({}, {rd(0, 1)}), Tri::No);
+}
+
+TEST(Precongruence, DistinguishableStatesRefuted) {
+  RegisterSpec S("mem", 2, 2);
+  PrecongruenceChecker P(S);
+  // write(0,1) vs empty: a read probe distinguishes them.
+  EXPECT_EQ(P.checkLogs({wr(0, 1)}, {}), Tri::No);
+  EXPECT_EQ(P.checkLogs({}, {wr(0, 1)}), Tri::No);
+  // Same final state, different paths: equivalent.
+  EXPECT_EQ(P.checkLogs({wr(0, 1, 1), wr(0, 0, 2)}, {wr(1, 1, 1), wr(1, 0, 2)}),
+            Tri::Yes);
+}
+
+TEST(Precongruence, Lemma52Transitivity) {
+  // Sampled transitivity: for logs a =< b and b =< c, check a =< c.
+  RegisterSpec S("mem", 1, 3);
+  PrecongruenceChecker P(S);
+  std::vector<std::vector<Operation>> Logs = {
+      {},
+      {wr(0, 1, 1)},
+      {wr(0, 1, 1), wr(0, 2, 2)},
+      {wr(0, 2, 1)},
+      {wr(0, 0, 1), rd(0, 0, 2)},
+      {wr(0, 2, 1), wr(0, 2, 2)},
+  };
+  for (const auto &A : Logs)
+    for (const auto &B : Logs)
+      for (const auto &C : Logs) {
+        if (P.checkLogs(A, B) != Tri::Yes || P.checkLogs(B, C) != Tri::Yes)
+          continue;
+        EXPECT_EQ(P.checkLogs(A, C), Tri::Yes);
+      }
+}
+
+TEST(Precongruence, Lemma53AppendClosure) {
+  // a =< b implies a.c =< b.c, for operation suffixes c.
+  RegisterSpec S("mem", 1, 3);
+  PrecongruenceChecker P(S);
+  std::vector<Operation> A = {wr(0, 1, 1), wr(0, 2, 2)};
+  std::vector<Operation> B = {wr(0, 2, 1)};
+  ASSERT_EQ(P.checkLogs(A, B), Tri::Yes);
+  for (const Operation &Suffix :
+       {wr(0, 0, 9), rd(0, 2, 9), wr(0, 1, 9)}) {
+    auto A2 = A;
+    auto B2 = B;
+    A2.push_back(Suffix);
+    B2.push_back(Suffix);
+    EXPECT_EQ(P.checkLogs(A2, B2), Tri::Yes) << Suffix.toString();
+  }
+}
+
+TEST(Precongruence, Lemma51MoverAllows) {
+  // l2 <| op and allowed l1.l2.op implies allowed l1.op.
+  SetSpec S("set", 2);
+  PrecongruenceChecker P(S);
+  MoverChecker Movers(S);
+  Operation L2 = mkOp(1, "set", "add", {0}, 1);
+  Operation Op = mkOp(2, "set", "add", {1}, 1);
+  ASSERT_EQ(Movers.leftMover(L2, Op), Tri::Yes);
+  ASSERT_TRUE(S.allowed({L2, Op}));
+  EXPECT_TRUE(S.allowed({Op}));
+}
+
+TEST(Precongruence, UnobservableDifferencesPermitted) {
+  // "unobservable state differences are also permitted" (Def. 3.1
+  // discussion): flipping the hidden bit is equivalent to doing nothing,
+  // even though the states differ — only coinduction up to all suffixes
+  // sees this.
+  HiddenBitSpec S;
+  PrecongruenceChecker P(S);
+  Operation Flip = mkOp(1, "h", "flip");
+  EXPECT_EQ(P.checkLogs({Flip}, {}), Tri::Yes);
+  EXPECT_EQ(P.checkLogs({}, {Flip}), Tri::Yes);
+  EXPECT_EQ(P.checkLogs({Flip, mkOp(2, "h", "flip")}, {Flip}), Tri::Yes);
+}
+
+TEST(Precongruence, NondeterminismIsDirectional) {
+  CoinSpec S;
+  PrecongruenceChecker P(S);
+  Operation Toss = mkOp(1, "c", "toss");
+  // Everything the deterministic start allows, the tossed state allows.
+  EXPECT_EQ(P.checkLogs({}, {Toss}), Tri::Yes);
+  // But the tossed state allows peek=1, which the start does not.
+  EXPECT_EQ(P.checkLogs({Toss}, {}), Tri::No);
+}
+
+TEST(Precongruence, SubsetShortcutAnswersDiagonalInstantly) {
+  RegisterSpec S("mem", 2, 3);
+  PrecongruenceLimits Limits;
+  Limits.MaxPairs = 1; // Only the root may be expanded...
+  PrecongruenceChecker P(S, Limits);
+  // ...but equal (subset) denotations need no expansion at all.
+  EXPECT_EQ(P.checkLogs({}, {}), Tri::Yes);
+  EXPECT_EQ(P.pairsVisited(), 0u);
+}
+
+TEST(Precongruence, BudgetExhaustionIsUnknown) {
+  // The hidden-bit logs denote *different* singleton states (no subset
+  // shortcut) and are equivalent only up to infinite suffixes, so the
+  // check has to explore — and a 1-pair budget is not enough.
+  HiddenBitSpec S;
+  PrecongruenceLimits Limits;
+  Limits.MaxPairs = 1;
+  PrecongruenceChecker P(S, Limits);
+  EXPECT_EQ(P.checkLogs({mkOp(1, "h", "flip")}, {}), Tri::Unknown);
+}
+
+TEST(Precongruence, CachesAcrossQueries) {
+  HiddenBitSpec S;
+  PrecongruenceChecker P(S);
+  Operation Flip = mkOp(1, "h", "flip");
+  ASSERT_EQ(P.checkLogs({Flip}, {}), Tri::Yes);
+  uint64_t After1 = P.pairsVisited();
+  EXPECT_GT(After1, 0u);
+  ASSERT_EQ(P.checkLogs({Flip}, {}), Tri::Yes);
+  EXPECT_EQ(P.pairsVisited(), After1) << "second query should hit the cache";
+  EXPECT_GT(P.knownGoodCount(), 0u);
+}
+
+TEST(Precongruence, NoWitnessIsCached) {
+  RegisterSpec S("mem", 1, 2);
+  PrecongruenceChecker P(S);
+  ASSERT_EQ(P.checkLogs({wr(0, 1)}, {}), Tri::No);
+  EXPECT_GT(P.knownBadCount(), 0u);
+  EXPECT_EQ(P.checkLogs({wr(0, 1)}, {}), Tri::No);
+}

@@ -1,0 +1,194 @@
+//===- tests/scenario_test.cpp - Scenario format + runner ---------------------===//
+
+#include "sim/Scenario.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+
+namespace {
+
+const char *Fig2Scenario = R"(
+# Figure 2 in scenario form.
+spec map name=map keys=8 vals=4
+engine boosting seed=42
+schedule random seed=7 maxsteps=100000
+thread tx { a := map.put(1, 2) }; tx { b := map.get(1) }
+thread tx { c := map.put(1, 3) }
+check serializability
+check opacity
+check invariants
+)";
+
+} // namespace
+
+TEST(ScenarioParse, Figure2Parses) {
+  ScenarioParseResult R = parseScenario(Fig2Scenario);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Scenario &S = *R.Parsed;
+  EXPECT_EQ(S.Engine, "boosting");
+  EXPECT_EQ(S.EngineOpts.at("seed"), "42");
+  EXPECT_EQ(S.Threads.size(), 2u);
+  EXPECT_EQ(S.Threads[0].size(), 2u) << "two transactions on thread 0";
+  EXPECT_EQ(S.Checks.size(), 3u);
+  EXPECT_EQ(S.ScheduleSeed, 7u);
+  EXPECT_EQ(S.MaxSteps, 100000u);
+}
+
+TEST(ScenarioParse, CompositeFromMultipleSpecs) {
+  ScenarioParseResult R = parseScenario(R"(
+spec set name=skiplist keys=4
+spec counter name=size counters=1 mod=8
+engine hybrid htm=size conflictpct=100
+thread tx { s := skiplist.add(1); size.inc(0) }
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_NE(R.Parsed->Spec->name().find("composite"), std::string::npos);
+}
+
+TEST(ScenarioParse, Errors) {
+  EXPECT_FALSE(parseScenario("").ok());
+  EXPECT_FALSE(parseScenario("spec map\n").ok()) << "no threads";
+  EXPECT_FALSE(parseScenario("spec nosuch\nthread tx { skip }\n").ok());
+  EXPECT_FALSE(
+      parseScenario("spec map\nthread map.get(1)\n").ok())
+      << "method outside a transaction";
+  EXPECT_FALSE(parseScenario("spec map\nfrobnicate\n").ok());
+  EXPECT_FALSE(
+      parseScenario("spec map\nspec map\nthread tx { skip }\n").ok())
+      << "duplicate object name";
+  {
+    ScenarioParseResult R =
+        parseScenario("spec map\nthread tx { oops \n");
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.ErrorLine, 2u);
+  }
+}
+
+TEST(ScenarioParse, CommentsAndBlankLines) {
+  ScenarioParseResult R = parseScenario(R"(
+# leading comment
+
+spec register regs=2 vals=2   # trailing comment
+thread tx { v := register.read(0) }
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(FlattenTransactions, Shapes) {
+  std::string Error;
+  auto One = flattenTransactions(parseOrDie("tx { o.a() }"), Error);
+  EXPECT_EQ(One.size(), 1u);
+  auto Three = flattenTransactions(
+      parseOrDie("tx { o.a() }; tx { o.b() }; tx { o.c() }"), Error);
+  EXPECT_EQ(Three.size(), 3u);
+  EXPECT_TRUE(Error.empty());
+  auto Bad = flattenTransactions(parseOrDie("o.a(); tx { o.b() }"), Error);
+  EXPECT_TRUE(Bad.empty());
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ScenarioRun, Figure2EndToEnd) {
+  ScenarioParseResult R = parseScenario(Fig2Scenario);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ScenarioOutcome O = runScenario(*R.Parsed);
+  EXPECT_TRUE(O.Ok);
+  EXPECT_EQ(O.Stats.Commits, 3u);
+  ASSERT_EQ(O.CheckResults.size(), 3u);
+  EXPECT_EQ(O.CheckResults[0], "serializability: yes");
+  EXPECT_NE(O.CheckResults[1].find("in the opaque fragment"),
+            std::string::npos);
+  EXPECT_EQ(O.CheckResults[2], "invariants: hold");
+  EXPECT_FALSE(O.Trace.empty());
+}
+
+TEST(ScenarioRun, EveryEngineRunsTheRegisterScenario) {
+  for (const char *Engine :
+       {"optimistic", "checkpoint", "boosting", "pessimistic", "irrevocable",
+        "dependent", "early-release", "htm", "htm-word"}) {
+    std::string Text = std::string(R"(
+spec register name=mem regs=2 vals=2
+engine )") + Engine + R"(
+schedule random seed=5 maxsteps=200000
+thread tx { v := mem.read(0); mem.write(1, 1) }
+thread tx { mem.write(0, 1) }
+check serializability-any
+)";
+    ScenarioParseResult R = parseScenario(Text);
+    ASSERT_TRUE(R.ok()) << Engine << ": " << R.Error;
+    ScenarioOutcome O = runScenario(*R.Parsed);
+    EXPECT_TRUE(O.Ok) << Engine << " failed: "
+                      << (O.CheckResults.empty() ? "no checks"
+                                                 : O.CheckResults[0]);
+  }
+}
+
+TEST(ScenarioRun, HybridScenario) {
+  ScenarioParseResult R = parseScenario(R"(
+spec set name=skiplist keys=4
+spec counter name=size counters=1 mod=8
+engine hybrid htm=size conflictpct=100 seed=3
+schedule roundrobin seed=1 maxsteps=100000
+thread tx { s := skiplist.add(1); size.inc(0) }
+thread tx { t := skiplist.add(2); size.inc(0) }
+check serializability
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ScenarioOutcome O = runScenario(*R.Parsed);
+  EXPECT_TRUE(O.Ok) << (O.CheckResults.empty() ? "?" : O.CheckResults[0]);
+  EXPECT_EQ(O.Stats.Commits, 2u);
+}
+
+TEST(ScenarioRun, UnknownEngineReportsError) {
+  ScenarioParseResult R = parseScenario(R"(
+spec register regs=1 vals=2
+engine quantum
+thread tx { v := register.read(0) }
+)");
+  ASSERT_TRUE(R.ok());
+  ScenarioOutcome O = runScenario(*R.Parsed);
+  EXPECT_FALSE(O.Ok);
+}
+
+TEST(ScenarioRun, BankScenario) {
+  ScenarioParseResult R = parseScenario(R"(
+spec bank accounts=2 cap=4 initial=2
+engine boosting seed=9
+thread tx { bank.deposit(0, 1) }; tx { r := bank.withdraw(1, 1) }
+thread tx { b := bank.balance(0) }
+check serializability
+check invariants
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ScenarioOutcome O = runScenario(*R.Parsed);
+  EXPECT_TRUE(O.Ok) << (O.CheckResults.empty() ? "?" : O.CheckResults[0]);
+}
+
+TEST(ScenarioRun, AuditRecordsCriteria) {
+  ScenarioParseResult R = parseScenario(Fig2Scenario);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ScenarioOutcome O = runScenario(*R.Parsed);
+  ASSERT_TRUE(O.Ok);
+  EXPECT_NE(O.Audit.find("PUSH criterion (ii)"), std::string::npos);
+  EXPECT_NE(O.Audit.find("CMT criterion (iii)"), std::string::npos);
+  EXPECT_EQ(O.Audit.find("rejected"), std::string::npos)
+      << "the audit records applied rules only";
+}
+
+TEST(ScenarioRun, PctSchedulePolicy) {
+  ScenarioParseResult R = parseScenario(R"(
+spec register name=mem regs=2 vals=2
+engine optimistic seed=2
+schedule pct seed=6 maxsteps=200000 changepoints=2
+thread tx { v := mem.read(0); mem.write(1, 1) }
+thread tx { mem.write(0, 1) }
+check serializability
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Parsed->Policy, SchedulePolicy::PriorityChangePoints);
+  EXPECT_EQ(R.Parsed->ChangePoints, 2u);
+  ScenarioOutcome O = runScenario(*R.Parsed);
+  EXPECT_TRUE(O.Ok) << (O.CheckResults.empty() ? "?" : O.CheckResults[0]);
+}

@@ -1,0 +1,101 @@
+//===- tests/spec_composite_test.cpp - CompositeSpec ------------------------===//
+
+#include "spec/CompositeSpec.h"
+
+#include "TestUtil.h"
+#include "spec/CounterSpec.h"
+#include "spec/RegisterSpec.h"
+#include "spec/SetSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+using testutil::hintDisagreements;
+using testutil::mkOp;
+
+namespace {
+
+/// The Section 7 flavour: a boosted set, HTM counters, HTM words.
+CompositeSpec section7Spec() {
+  CompositeSpec S;
+  S.add("skiplist", std::make_shared<SetSpec>("skiplist", 2));
+  S.add("size", std::make_shared<CounterSpec>("size", 1, 4));
+  S.add("mem", std::make_shared<RegisterSpec>("mem", 2, 2));
+  return S;
+}
+
+} // namespace
+
+TEST(CompositeSpec, RoutesByObject) {
+  CompositeSpec S = section7Spec();
+  EXPECT_TRUE(S.allowed({mkOp(1, "skiplist", "add", {1}, 1),
+                         mkOp(2, "size", "inc", {0}),
+                         mkOp(3, "mem", "write", {0, 1}, 1),
+                         mkOp(4, "size", "read", {0}, 1),
+                         mkOp(5, "mem", "read", {0}, 1)}));
+  EXPECT_FALSE(S.allowed({mkOp(1, "size", "read", {0}, 1)}));
+  EXPECT_TRUE(S.completionsFrom(S.initial(), {"nosuch", "m", {}}).empty());
+}
+
+TEST(CompositeSpec, ComponentsIndependent) {
+  CompositeSpec S = section7Spec();
+  // An update to one component never affects another's observations.
+  EXPECT_TRUE(S.allowed({mkOp(1, "size", "inc", {0}),
+                         mkOp(2, "mem", "read", {0}, 0),
+                         mkOp(3, "skiplist", "contains", {1}, 0)}));
+}
+
+TEST(CompositeSpec, CrossObjectOpsCommute) {
+  CompositeSpec S = section7Spec();
+  EXPECT_EQ(S.leftMoverHint(mkOp(1, "skiplist", "add", {1}, 1),
+                            mkOp(2, "size", "inc", {0})),
+            Tri::Yes);
+  EXPECT_EQ(S.leftMoverHint(mkOp(1, "mem", "write", {0, 1}, 1),
+                            mkOp(2, "size", "read", {0}, 0)),
+            Tri::Yes);
+}
+
+TEST(CompositeSpec, SameObjectDelegatesToPart) {
+  CompositeSpec S = section7Spec();
+  EXPECT_EQ(S.leftMoverHint(mkOp(1, "size", "inc", {0}),
+                            mkOp(2, "size", "inc", {0})),
+            Tri::Yes);
+  EXPECT_EQ(S.leftMoverHint(mkOp(1, "mem", "write", {0, 0}, 0),
+                            mkOp(2, "mem", "write", {0, 1}, 1)),
+            Tri::No);
+}
+
+TEST(CompositeSpec, ProbeAlphabetIsUnion) {
+  CompositeSpec S = section7Spec();
+  SetSpec Part1("skiplist", 2);
+  CounterSpec Part2("size", 1, 4);
+  RegisterSpec Part3("mem", 2, 2);
+  EXPECT_EQ(S.probeOps().size(), Part1.probeOps().size() +
+                                     Part2.probeOps().size() +
+                                     Part3.probeOps().size());
+}
+
+TEST(CompositeSpec, HintAgreesWithSemantics) {
+  // Small composite so the semantic product space stays tractable.
+  CompositeSpec S;
+  S.add("s", std::make_shared<SetSpec>("s", 1));
+  S.add("c", std::make_shared<CounterSpec>("c", 1, 2));
+  EXPECT_EQ(hintDisagreements(S), std::vector<std::string>{});
+}
+
+TEST(CompositeSpec, PrefixClosed) {
+  CompositeSpec S = section7Spec();
+  std::vector<Operation> Log = {
+      mkOp(1, "skiplist", "add", {0}, 1), mkOp(2, "size", "inc", {0}),
+      mkOp(3, "mem", "write", {1, 1}, 1), mkOp(4, "size", "read", {0}, 1),
+      mkOp(5, "skiplist", "remove", {0}, 1)};
+  ASSERT_TRUE(S.allowed(Log));
+  for (size_t N = 0; N <= Log.size(); ++N)
+    EXPECT_TRUE(S.allowed({Log.begin(), Log.begin() + N}));
+}
+
+TEST(CompositeSpec, Name) {
+  CompositeSpec S;
+  S.add("s", std::make_shared<SetSpec>("s", 1));
+  EXPECT_EQ(S.name(), "composite(set(s,u=1))");
+}

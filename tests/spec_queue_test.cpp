@@ -1,0 +1,104 @@
+//===- tests/spec_queue_test.cpp - QueueSpec --------------------------------===//
+
+#include "spec/QueueSpec.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+using testutil::hintDisagreements;
+using testutil::mkOp;
+
+namespace {
+
+QueueSpec spec() { return QueueSpec("q", 2, 2); }
+
+Operation enq(Value V, Value R, OpId Id = 1) {
+  return mkOp(Id, "q", "enq", {V}, R);
+}
+Operation deq(Value R, OpId Id = 1) { return mkOp(Id, "q", "deq", {}, R); }
+Operation size(Value R, OpId Id = 1) { return mkOp(Id, "q", "size", {}, R); }
+
+} // namespace
+
+TEST(QueueSpec, EmptyInitially) {
+  QueueSpec S = spec();
+  EXPECT_TRUE(S.allowed({deq(QueueSpec::Empty), size(0, 2)}));
+  EXPECT_FALSE(S.allowed({deq(0)}));
+}
+
+TEST(QueueSpec, FifoOrder) {
+  QueueSpec S = spec();
+  EXPECT_TRUE(
+      S.allowed({enq(0, 1, 1), enq(1, 1, 2), deq(0, 3), deq(1, 4)}));
+  EXPECT_FALSE(
+      S.allowed({enq(0, 1, 1), enq(1, 1, 2), deq(1, 3)}));
+}
+
+TEST(QueueSpec, CapacityBounds) {
+  QueueSpec S = spec();
+  EXPECT_TRUE(S.allowed({enq(0, 1, 1), enq(0, 1, 2), enq(1, 0, 3)}));
+  EXPECT_FALSE(S.allowed({enq(0, 1, 1), enq(0, 1, 2), enq(1, 1, 3)}));
+}
+
+TEST(QueueSpec, SizeObserves) {
+  QueueSpec S = spec();
+  EXPECT_TRUE(S.allowed({enq(1, 1, 1), size(1, 2), deq(1, 3), size(0, 4)}));
+  EXPECT_FALSE(S.allowed({enq(1, 1, 1), size(0, 2)}));
+}
+
+TEST(QueueSpec, PrefixClosed) {
+  QueueSpec S = spec();
+  std::vector<Operation> Log = {enq(0, 1, 1), enq(1, 1, 2), deq(0, 3),
+                                enq(0, 1, 4), deq(1, 5)};
+  ASSERT_TRUE(S.allowed(Log));
+  for (size_t N = 0; N <= Log.size(); ++N)
+    EXPECT_TRUE(S.allowed({Log.begin(), Log.begin() + N}));
+}
+
+TEST(QueueSpec, EnqueuesOfDifferentValuesDoNotCommute) {
+  // The deliberately non-commutative spec: FIFO order is observable.
+  QueueSpec S = spec();
+  MoverChecker Movers(S);
+  EXPECT_EQ(Movers.leftMover(enq(0, 1), enq(1, 1)), Tri::No);
+  EXPECT_EQ(Movers.leftMover(enq(1, 1), enq(1, 1)), Tri::Yes);
+}
+
+TEST(QueueSpec, DequeueOrderMatters) {
+  QueueSpec S = spec();
+  MoverChecker Movers(S);
+  // deq=v then enq(u): reordering changes which element deq sees when the
+  // queue holds one element of a different value.
+  EXPECT_EQ(Movers.leftMover(deq(0), enq(1, 1)), Tri::No);
+  // Successful enq then a deq of *that same* value: moving the deq first
+  // would see the older front (or empty).
+  EXPECT_EQ(Movers.leftMover(enq(0, 1), deq(0)), Tri::No);
+}
+
+TEST(QueueSpec, HintOnlyObjectDisjointness) {
+  QueueSpec S = spec();
+  EXPECT_EQ(S.leftMoverHint(enq(0, 1), mkOp(2, "other", "m", {})), Tri::Yes);
+  EXPECT_EQ(S.leftMoverHint(enq(0, 1), enq(1, 1)), Tri::Unknown);
+  EXPECT_EQ(hintDisagreements(S), std::vector<std::string>{});
+}
+
+TEST(QueueSpec, Completions) {
+  QueueSpec S = spec();
+  auto C = S.completionsFrom(S.initial(), {"q", "deq", {}});
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_EQ(C[0].Result, QueueSpec::Empty);
+  StateSet After = S.denote({enq(1, 1, 1)});
+  auto C2 = S.completionsFrom(After, {"q", "deq", {}});
+  ASSERT_EQ(C2.size(), 1u);
+  EXPECT_EQ(C2[0].Result, Value(1));
+  auto C3 = S.completionsFrom(After, {"q", "enq", {0}});
+  ASSERT_EQ(C3.size(), 1u);
+  EXPECT_EQ(C3[0].Result, Value(1));
+}
+
+TEST(QueueSpec, DomainChecks) {
+  QueueSpec S = spec();
+  EXPECT_TRUE(S.completionsFrom(S.initial(), {"q", "enq", {9}}).empty());
+  EXPECT_TRUE(S.completionsFrom(S.initial(), {"q", "peek", {}}).empty());
+}

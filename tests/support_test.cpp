@@ -1,0 +1,167 @@
+//===- tests/support_test.cpp - Tri / Rng / Str unit tests ------------------===//
+
+#include "support/Rng.h"
+#include "support/Str.h"
+#include "support/Tri.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace pushpull;
+
+TEST(Tri, AndTruthTable) {
+  EXPECT_EQ(triAnd(Tri::Yes, Tri::Yes), Tri::Yes);
+  EXPECT_EQ(triAnd(Tri::Yes, Tri::No), Tri::No);
+  EXPECT_EQ(triAnd(Tri::No, Tri::Yes), Tri::No);
+  EXPECT_EQ(triAnd(Tri::No, Tri::No), Tri::No);
+  EXPECT_EQ(triAnd(Tri::Yes, Tri::Unknown), Tri::Unknown);
+  EXPECT_EQ(triAnd(Tri::Unknown, Tri::Yes), Tri::Unknown);
+  EXPECT_EQ(triAnd(Tri::No, Tri::Unknown), Tri::No);
+  EXPECT_EQ(triAnd(Tri::Unknown, Tri::No), Tri::No);
+  EXPECT_EQ(triAnd(Tri::Unknown, Tri::Unknown), Tri::Unknown);
+}
+
+TEST(Tri, OrTruthTable) {
+  EXPECT_EQ(triOr(Tri::No, Tri::No), Tri::No);
+  EXPECT_EQ(triOr(Tri::No, Tri::Yes), Tri::Yes);
+  EXPECT_EQ(triOr(Tri::Unknown, Tri::Yes), Tri::Yes);
+  EXPECT_EQ(triOr(Tri::Unknown, Tri::No), Tri::Unknown);
+  EXPECT_EQ(triOr(Tri::Unknown, Tri::Unknown), Tri::Unknown);
+}
+
+TEST(Tri, NotInvolutiveOnDefinite) {
+  EXPECT_EQ(triNot(Tri::Yes), Tri::No);
+  EXPECT_EQ(triNot(Tri::No), Tri::Yes);
+  EXPECT_EQ(triNot(Tri::Unknown), Tri::Unknown);
+}
+
+TEST(Tri, Predicates) {
+  EXPECT_TRUE(definitely(Tri::Yes));
+  EXPECT_FALSE(definitely(Tri::Unknown));
+  EXPECT_FALSE(definitely(Tri::No));
+  EXPECT_TRUE(possibly(Tri::Yes));
+  EXPECT_TRUE(possibly(Tri::Unknown));
+  EXPECT_FALSE(possibly(Tri::No));
+  EXPECT_EQ(triOf(true), Tri::Yes);
+  EXPECT_EQ(triOf(false), Tri::No);
+}
+
+TEST(Tri, ToString) {
+  EXPECT_EQ(toString(Tri::Yes), "yes");
+  EXPECT_EQ(toString(Tri::No), "no");
+  EXPECT_EQ(toString(Tri::Unknown), "unknown");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng R(7);
+  std::map<uint64_t, int> Seen;
+  for (int I = 0; I < 2000; ++I)
+    ++Seen[R.below(5)];
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(9);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_TRUE(R.chance(100, 100));
+    EXPECT_FALSE(R.chance(0, 100));
+  }
+}
+
+TEST(Rng, ZipfUniformWhenThetaZero) {
+  Rng R(11);
+  std::map<uint64_t, int> Seen;
+  for (int I = 0; I < 3000; ++I)
+    ++Seen[R.zipf(6, 0)];
+  EXPECT_EQ(Seen.size(), 6u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng R(13);
+  int Low = 0, High = 0;
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t V = R.zipf(16, 150);
+    if (V < 2)
+      ++Low;
+    if (V >= 14)
+      ++High;
+  }
+  EXPECT_GT(Low, High * 3);
+}
+
+TEST(Rng, ZipfStaysInDomain) {
+  Rng R(17);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.zipf(7, 99), 7u);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng R(19);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::vector<int> Sorted = V;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Sorted, Orig);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng A(23);
+  Rng B = A.split();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_TRUE(startsWith("foo", ""));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_FALSE(startsWith("xfoo", "foo"));
+}
+
+TEST(Str, SplitOn) {
+  EXPECT_EQ(splitOn("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitOn("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(splitOn("a,", ','), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(splitOn(",a", ','), (std::vector<std::string>{"", "a"}));
+}

@@ -1,0 +1,108 @@
+//===- tests/trace_criteria_test.cpp - RuleTrace / RuleResult -----------------===//
+
+#include "core/Criteria.h"
+#include "core/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+
+TEST(RuleKindNames, AllSeven) {
+  EXPECT_EQ(toString(RuleKind::App), "APP");
+  EXPECT_EQ(toString(RuleKind::UnApp), "UNAPP");
+  EXPECT_EQ(toString(RuleKind::Push), "PUSH");
+  EXPECT_EQ(toString(RuleKind::UnPush), "UNPUSH");
+  EXPECT_EQ(toString(RuleKind::Pull), "PULL");
+  EXPECT_EQ(toString(RuleKind::UnPull), "UNPULL");
+  EXPECT_EQ(toString(RuleKind::Commit), "CMT");
+}
+
+TEST(RuleResult, FirstFailurePicksEarliestNonYes) {
+  RuleResult R = RuleResult::rejected(
+      RuleKind::Push,
+      {criterion("PUSH criterion (i)", Tri::Yes),
+       criterion("PUSH criterion (ii)", Tri::Unknown, "bound hit"),
+       criterion("PUSH criterion (iii)", Tri::No, "disallowed")});
+  ASSERT_NE(R.firstFailure(), nullptr);
+  EXPECT_EQ(R.firstFailure()->Name, "PUSH criterion (ii)");
+  EXPECT_FALSE(R.Applied);
+}
+
+TEST(RuleResult, AppliedHasNoFailure) {
+  RuleResult R = RuleResult::applied(
+      RuleKind::Commit, {criterion("CMT criterion (i)", Tri::Yes)});
+  EXPECT_TRUE(R.Applied);
+  EXPECT_EQ(R.firstFailure(), nullptr);
+}
+
+TEST(RuleResult, RenderingMentionsEverything) {
+  RuleResult R = RuleResult::rejected(
+      RuleKind::Pull, {criterion("PULL criterion (ii)", Tri::No, "why")},
+      "context");
+  std::string S = R.toString();
+  EXPECT_NE(S.find("PULL"), std::string::npos);
+  EXPECT_NE(S.find("rejected"), std::string::npos);
+  EXPECT_NE(S.find("context"), std::string::npos);
+  EXPECT_NE(S.find("PULL criterion (ii)"), std::string::npos);
+  EXPECT_NE(S.find("why"), std::string::npos);
+}
+
+TEST(RuleResult, MalformedCarriesMessageOnly) {
+  RuleResult R = RuleResult::malformed(RuleKind::UnApp, "local log empty");
+  EXPECT_FALSE(R.Applied);
+  EXPECT_TRUE(R.Criteria.empty());
+  EXPECT_EQ(R.Message, "local log empty");
+}
+
+TEST(RuleTrace, SequenceNumbersMonotone) {
+  RuleTrace T;
+  for (int I = 0; I < 5; ++I) {
+    TraceEvent E;
+    E.Tid = static_cast<TxId>(I % 2);
+    E.Rule = RuleKind::App;
+    T.record(E);
+  }
+  ASSERT_EQ(T.size(), 5u);
+  for (size_t I = 1; I < T.events().size(); ++I)
+    EXPECT_LT(T.events()[I - 1].Seq, T.events()[I].Seq);
+}
+
+TEST(RuleTrace, CountAndFilter) {
+  RuleTrace T;
+  auto Add = [&](TxId Tid, RuleKind K) {
+    TraceEvent E;
+    E.Tid = Tid;
+    E.Rule = K;
+    T.record(E);
+  };
+  Add(0, RuleKind::App);
+  Add(0, RuleKind::Push);
+  Add(1, RuleKind::App);
+  Add(0, RuleKind::Commit);
+  EXPECT_EQ(T.countOf(RuleKind::App), 2u);
+  EXPECT_EQ(T.countOf(RuleKind::UnPush), 0u);
+  EXPECT_EQ(T.byThread(0).size(), 3u);
+  EXPECT_EQ(T.byThread(1).size(), 1u);
+  EXPECT_EQ(T.byThread(7).size(), 0u);
+}
+
+TEST(RuleTrace, RenderingMarksUncommittedPulls) {
+  RuleTrace T;
+  TraceEvent E;
+  E.Tid = 3;
+  E.Rule = RuleKind::Pull;
+  E.OpText = "#9:mem.read(0)=1";
+  E.PulledUncommitted = true;
+  T.record(E);
+  std::string S = T.toString();
+  EXPECT_NE(S.find("t3: PULL(#9:mem.read(0)=1) [uncommitted]"),
+            std::string::npos);
+}
+
+TEST(RuleTrace, ClearEmpties) {
+  RuleTrace T;
+  T.record(TraceEvent{});
+  EXPECT_FALSE(T.empty());
+  T.clear();
+  EXPECT_TRUE(T.empty());
+}
