@@ -139,12 +139,37 @@ void PushPullMachine::checkInvariantsAfterStep(const char *Rule) {
   }
 }
 
+StateSetId PushPullMachine::localViewId(const ThreadState &Th) const {
+  StateSetId S = Spec->initialId();
+  for (const LocalEntry &E : Th.L.entries()) {
+    if (S == StateTable::EmptySetId)
+      break;
+    S = Spec->applyOpId(S, E.Op);
+  }
+  return S;
+}
+
+StateSetId PushPullMachine::globalViewId(const Operation *Extra,
+                                         size_t OmitIdx) const {
+  StateSetId S = Spec->initialId();
+  for (size_t I = 0; I < G.size(); ++I) {
+    if (I == OmitIdx)
+      continue;
+    if (S == StateTable::EmptySetId)
+      return S;
+    S = Spec->applyOpId(S, G[I].Op);
+  }
+  if (Extra && S != StateTable::EmptySetId)
+    S = Spec->applyOpId(S, *Extra);
+  return S;
+}
+
 std::vector<AppChoice> PushPullMachine::appChoices(TxId T) const {
   const ThreadState &Th = thread(T);
   std::vector<AppChoice> Out;
   if (!Th.InTx)
     return Out;
-  StateSet View = Spec->denote(Th.L.ops());
+  const StateSet &View = Spec->setOf(localViewId(Th));
   std::vector<StepItem> Steps = step(Th.Code);
   for (size_t I = 0; I < Steps.size(); ++I) {
     auto Call = Steps[I].Call.resolve(Th.Sigma);
@@ -178,9 +203,10 @@ RuleResult PushPullMachine::app(TxId T, size_t StepIdx, size_t CompIdx) {
 
   // APP criterion (ii): the local log allows the operation; we realize it
   // by drawing the completion from the local view's allowed completions.
-  StateSet View = Spec->denote(Th.L.ops());
+  const StateSet &View = Spec->setOf(localViewId(Th));
   std::vector<Completion> Comps = Spec->completionsFrom(View, *Call);
   std::vector<CriterionReport> Rs;
+  Rs.reserve(4);
   Rs.push_back(criterion("APP criterion (i)", Tri::Yes,
                          "(m, c') drawn from step(c)"));
   if (CompIdx >= Comps.size()) {
@@ -261,6 +287,7 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
   const Operation &Op = E.Op;
 
   std::vector<CriterionReport> Rs;
+  Rs.reserve(4);
 
   // PUSH criterion (i): op can move to the left of every unpushed
   // operation that precedes it in the local log ("publish op as if it was
@@ -290,8 +317,10 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
   // serialization witness.
   Rs.push_back(evalCriterion("PUSH criterion (ii)", [&] {
     Tri V = Tri::Yes;
-    for (const Operation &X : G.uncommittedNotOwnedBy(T)) {
-      V = triAnd(V, Movers->leftMover(X, Op));
+    for (const GlobalEntry &GE : G.entries()) {
+      if (GE.Kind != GlobalKind::Uncommitted || GE.Owner == T)
+        continue;
+      V = triAnd(V, Movers->leftMover(GE.Op, Op));
       if (V == Tri::No)
         break;
     }
@@ -300,9 +329,7 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
 
   // PUSH criterion (iii): G . op is allowed by the sequential spec.
   Rs.push_back(evalCriterion("PUSH criterion (iii)", [&] {
-    std::vector<Operation> Ext = G.ops();
-    Ext.push_back(Op);
-    return triOf(Spec->allowed(Ext));
+    return triOf(globalViewId(&Op) != StateTable::EmptySetId);
   }));
 
   if (!reportsPass(Rs))
@@ -346,6 +373,7 @@ RuleResult PushPullMachine::unpush(TxId T, size_t LocalIdx) {
                                      "cannot unpush a committed operation")});
 
   std::vector<CriterionReport> Rs;
+  Rs.reserve(4);
 
   // UNPUSH criterion (i) (gray: "not strictly necessary because we can
   // prove that it must hold whenever an UNPUSH occurs"): nothing pushed
@@ -369,11 +397,7 @@ RuleResult PushPullMachine::unpush(TxId T, size_t LocalIdx) {
   // could still have been pushed had op not been — i.e. G with op removed
   // is still allowed.
   Rs.push_back(evalCriterion("UNPUSH criterion (ii)", [&] {
-    std::vector<Operation> Without;
-    for (size_t I = 0; I < G.size(); ++I)
-      if (I != GIdx)
-        Without.push_back(G[I].Op);
-    return triOf(Spec->allowed(Without));
+    return triOf(globalViewId(nullptr, GIdx) != StateTable::EmptySetId);
   }));
 
   if (!reportsPass(Rs))
@@ -399,6 +423,7 @@ RuleResult PushPullMachine::pull(TxId T, size_t GlobalIdx) {
   const Operation &Op = GE.Op;
 
   std::vector<CriterionReport> Rs;
+  Rs.reserve(4);
 
   // PULL criterion (i): op was not pulled (or pushed) before.
   Rs.push_back(criterion("PULL criterion (i)",
@@ -407,7 +432,8 @@ RuleResult PushPullMachine::pull(TxId T, size_t GlobalIdx) {
 
   // PULL criterion (ii): the local log allows op.
   Rs.push_back(evalCriterion("PULL criterion (ii)", [&] {
-    return triOf(Spec->allowsFrom(Spec->denote(Th.L.ops()), Op));
+    return triOf(Spec->applyOpId(localViewId(Th), Op) !=
+                 StateTable::EmptySetId);
   }));
 
   // PULL criterion (iii) (gray): everything the transaction has done
@@ -416,8 +442,10 @@ RuleResult PushPullMachine::pull(TxId T, size_t GlobalIdx) {
   if (Config.EnforceGrayCriteria) {
     Rs.push_back(evalCriterion("PULL criterion (iii)", [&] {
       Tri V = Tri::Yes;
-      for (const Operation &X : Th.L.ownOps()) {
-        V = triAnd(V, Movers->leftMover(X, Op));
+      for (const LocalEntry &E : Th.L.entries()) {
+        if (E.Kind == LocalKind::Pulled)
+          continue;
+        V = triAnd(V, Movers->leftMover(E.Op, Op));
         if (V == Tri::No)
           break;
       }
@@ -456,11 +484,16 @@ RuleResult PushPullMachine::unpull(TxId T, size_t LocalIdx) {
   Operation Op = E.Op;
 
   std::vector<CriterionReport> Rs;
+  Rs.reserve(4);
 
   // UNPULL criterion (i): the local log is allowed without op (the
   // transaction did nothing that depended on it).
   Rs.push_back(evalCriterion("UNPULL criterion (i)", [&] {
-    return triOf(Spec->allowed(Th.L.opsOmitting(LocalIdx)));
+    StateSetId S = Spec->initialId();
+    for (size_t I = 0; I < Th.L.size() && S != StateTable::EmptySetId; ++I)
+      if (I != LocalIdx)
+        S = Spec->applyOpId(S, Th.L[I].Op);
+    return triOf(S != StateTable::EmptySetId);
   }));
 
   if (!reportsPass(Rs))
@@ -482,6 +515,7 @@ RuleResult PushPullMachine::commit(TxId T) {
                                  "no transaction in progress");
 
   std::vector<CriterionReport> Rs;
+  Rs.reserve(4);
 
   // CMT criterion (i): there is a path through the remaining code to skip.
   Rs.push_back(criterion("CMT criterion (i)", triOf(fin(Th.Code)),
@@ -490,7 +524,12 @@ RuleResult PushPullMachine::commit(TxId T) {
   // CMT criterion (ii): L c= G — all own operations have been pushed (and
   // no pulled operation has vanished from G via its owner's UNPUSH).
   {
-    bool AllPushed = Th.L.project(LocalKind::NotPushed).empty();
+    bool AllPushed = true;
+    for (const LocalEntry &E : Th.L.entries())
+      if (E.Kind == LocalKind::NotPushed) {
+        AllPushed = false;
+        break;
+      }
     bool Contained = G.containsAll(Th.L);
     Rs.push_back(criterion(
         "CMT criterion (ii)", triOf(AllPushed && Contained),
@@ -539,12 +578,68 @@ RuleResult PushPullMachine::commit(TxId T) {
   return Out;
 }
 
+std::string PushPullMachine::configKey() const {
+  // Operations are rendered by their interned (Call, Result) key id:
+  // id equality is exactly canonical-text equality, so the key partitions
+  // configurations the same way the fully textual rendering would, at a
+  // fraction of the cost (this runs once per explored successor).
+  StateTable &Table = Spec->table();
+  std::string Out;
+  Out.reserve(64 + 32 * Threads.size() + 12 * G.size());
+  for (const ThreadState &Th : Threads) {
+    if (Th.InTx) {
+      Out += "T:";
+      Out += Th.Code->printed();
+    } else {
+      Out += "idle";
+    }
+    Out += '\x01';
+    for (const auto &[Var, Val] : Th.Sigma.entries()) {
+      Out += Var;
+      Out += '>';
+      Out += std::to_string(Val);
+      Out += ',';
+    }
+    Out += '\x01';
+    for (const LocalEntry &E : Th.L.entries()) {
+      Out += std::to_string(Table.opKey(E.Op));
+      switch (E.Kind) {
+      case LocalKind::NotPushed:
+        Out += 'n';
+        break;
+      case LocalKind::Pushed:
+        Out += 'p';
+        break;
+      case LocalKind::Pulled:
+        Out += 'd';
+        break;
+      }
+      // Position of this op in G links L and G structurally.
+      size_t GI = G.indexOf(E.Op.Id);
+      if (GI == GlobalLog::npos)
+        Out += '-';
+      else
+        Out += std::to_string(GI);
+      Out += ';';
+    }
+    Out += std::to_string(Th.Pending.size());
+    Out += '\x02';
+  }
+  for (const GlobalEntry &E : G.entries()) {
+    Out += std::to_string(Table.opKey(E.Op));
+    Out += E.Kind == GlobalKind::Committed ? 'C' : 'U';
+    Out += std::to_string(E.Owner);
+    Out += ';';
+  }
+  return Out;
+}
+
 std::vector<Operation> PushPullMachine::committedLog() const {
   return G.project(GlobalKind::Committed);
 }
 
 StateSet PushPullMachine::localView(TxId T) const {
-  return Spec->denote(thread(T).L.ops());
+  return Spec->setOf(localViewId(thread(T)));
 }
 
 bool PushPullMachine::quiescent() const {

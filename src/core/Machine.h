@@ -198,6 +198,18 @@ public:
   /// probe rules under another.
   void setConfig(MachineConfig C) { Config = C; }
 
+  /// Re-point this machine at another mover checker.  The parallel
+  /// explorer gives each worker its own checker (caches are per-worker;
+  /// verdicts are cache-independent) and re-points popped work items at
+  /// the worker that will drive them.
+  void setMovers(MoverChecker &M) { Movers = &M; }
+
+  /// Canonical key of this configuration (threads' code, stacks, logs,
+  /// and G).  Operation ids differ between branches that apply "the same"
+  /// operation, so the key renders operations by call/result and logs by
+  /// structure.  Used by the explorer's visited set.
+  std::string configKey() const;
+
   /// The committed projection |G|_gCmt — what the serializability theorem
   /// relates to an atomic log.
   std::vector<Operation> committedLog() const;
@@ -213,6 +225,17 @@ public:
 
 private:
   ThreadState &threadMut(TxId T);
+
+  /// Interned denotation of \p Th's local log, folding applyOpId over the
+  /// entries directly — no Operation vector is materialized.  This is the
+  /// machine's hottest spec query (APP choice enumeration, APP/PULL
+  /// criteria, local views).
+  StateSetId localViewId(const ThreadState &Th) const;
+
+  /// Interned denotation of G extended with \p Extra (PUSH criterion
+  /// (iii)), again without materializing an Operation vector.
+  StateSetId globalViewId(const Operation *Extra,
+                          size_t OmitIdx = static_cast<size_t>(-1)) const;
 
   /// Evaluate a Tri criterion under the current validation level: at
   /// Trusting level the thunk is skipped entirely.

@@ -11,45 +11,40 @@ MoverChecker::MoverChecker(const SequentialSpec &Spec, MoverLimits Limits,
                            PrecongruenceLimits PreLimits)
     : Spec(Spec), Limits(Limits), Pre(Spec, PreLimits) {}
 
-std::string MoverChecker::opKey(const Operation &Op) {
-  // Moverness depends on the call and its result, never on the id or the
-  // thread stacks, so memoize on those alone.
-  std::string Out = Op.Call.toString();
-  if (Op.Result)
-    Out += "=" + std::to_string(*Op.Result);
-  return Out;
-}
-
 void MoverChecker::ensureReachable() {
   if (ReachableComputed)
     return;
   ReachableComputed = true;
   ReachableIsExact = true;
 
-  std::unordered_set<std::string> Seen;
-  std::deque<StateSet> Frontier;
+  std::unordered_set<StateSetId> Seen;
+  std::deque<StateSetId> Frontier;
   std::vector<Operation> Probes = Spec.probeOps();
+  std::vector<OpKeyId> ProbeKeys;
+  ProbeKeys.reserve(Probes.size());
+  for (const Operation &Op : Probes)
+    ProbeKeys.push_back(Spec.table().opKey(Op));
 
-  StateSet Init = Spec.initial();
-  Seen.insert(Init.key());
+  StateSetId Init = Spec.initialId();
+  Seen.insert(Init);
   Reachable.push_back(Init);
-  Frontier.push_back(std::move(Init));
+  Frontier.push_back(Init);
 
   while (!Frontier.empty()) {
     if (Reachable.size() >= Limits.MaxReachableSets) {
       ReachableIsExact = false;
       break;
     }
-    StateSet S = std::move(Frontier.front());
+    StateSetId S = Frontier.front();
     Frontier.pop_front();
-    for (const Operation &Op : Probes) {
-      StateSet N = Spec.applyOp(S, Op);
-      if (N.empty())
+    for (size_t I = 0; I < Probes.size(); ++I) {
+      StateSetId N = Spec.applyOpId(S, Probes[I], ProbeKeys[I]);
+      if (Spec.table().setEmpty(N))
         continue;
-      if (!Seen.insert(N.key()).second)
+      if (!Seen.insert(N).second)
         continue;
       Reachable.push_back(N);
-      Frontier.push_back(std::move(N));
+      Frontier.push_back(N);
     }
   }
 }
@@ -62,7 +57,10 @@ Tri MoverChecker::leftMover(const Operation &A, const Operation &B) {
 }
 
 Tri MoverChecker::leftMoverSemantic(const Operation &A, const Operation &B) {
-  std::string Key = opKey(A) + '\x1d' + opKey(B);
+  // One interning lookup per operand (the only string work on this path),
+  // then the memo key is a single integer.
+  OpKeyId KA = Spec.table().opKey(A), KB = Spec.table().opKey(B);
+  uint64_t Key = (static_cast<uint64_t>(KA) << 32) | KB;
   auto It = Memo.find(Key);
   if (It != Memo.end()) {
     ++MemoHits;
@@ -72,11 +70,11 @@ Tri MoverChecker::leftMoverSemantic(const Operation &A, const Operation &B) {
 
   ensureReachable();
   Tri Out = Tri::Yes;
-  for (const StateSet &S : Reachable) {
-    StateSet AB = Spec.applyOp(Spec.applyOp(S, A), B);
-    if (AB.empty())
+  for (StateSetId S : Reachable) {
+    StateSetId AB = Spec.applyOpId(Spec.applyOpId(S, A, KA), B, KB);
+    if (Spec.table().setEmpty(AB))
       continue; // l.A.B not allowed from here: vacuously fine.
-    StateSet BA = Spec.applyOp(Spec.applyOp(S, B), A);
+    StateSetId BA = Spec.applyOpId(Spec.applyOpId(S, B, KB), A, KA);
     Tri V = Pre.check(AB, BA);
     if (V == Tri::No) {
       Out = Tri::No;
@@ -90,7 +88,7 @@ Tri MoverChecker::leftMoverSemantic(const Operation &A, const Operation &B) {
   if (Out == Tri::Yes && !ReachableIsExact)
     Out = Tri::Unknown;
 
-  Memo.emplace(std::move(Key), Out);
+  Memo.emplace(Key, Out);
   return Out;
 }
 

@@ -84,11 +84,19 @@ public:
   uint64_t memoHits() const { return MemoHits; }
   uint64_t memoMisses() const { return MemoMisses; }
 
+  /// Reachable sets enumerated so far, without forcing the enumeration
+  /// (0 when no semantic query has run yet).  For stats reporting.
+  size_t reachableComputedCount() const {
+    return ReachableComputed ? Reachable.size() : 0;
+  }
+
+  const MoverLimits &limits() const { return Limits; }
+
   PrecongruenceChecker &precongruence() { return Pre; }
+  const PrecongruenceChecker &precongruence() const { return Pre; }
 
 private:
   void ensureReachable();
-  static std::string opKey(const Operation &Op);
 
   const SequentialSpec &Spec;
   MoverLimits Limits;
@@ -96,9 +104,12 @@ private:
 
   bool ReachableComputed = false;
   bool ReachableIsExact = false;
-  std::vector<StateSet> Reachable;
+  std::vector<StateSetId> Reachable;
 
-  std::unordered_map<std::string, Tri> Memo;
+  /// (OpKeyId of A << 32 | OpKeyId of B) -> verdict.  Moverness depends
+  /// on the call and its result, never on the id or the thread stacks, so
+  /// the interned denotation keys are exactly the right memo key.
+  std::unordered_map<uint64_t, Tri> Memo;
   uint64_t MemoHits = 0, MemoMisses = 0;
 };
 

@@ -4,13 +4,25 @@
 
 #include "support/Str.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace pushpull;
 
+/// First position whose name is >= Var (the vector is name-sorted).
+static std::vector<std::pair<std::string, Value>>::const_iterator
+lowerBoundVar(const std::vector<std::pair<std::string, Value>> &Vars,
+              const std::string &Var) {
+  return std::lower_bound(
+      Vars.begin(), Vars.end(), Var,
+      [](const std::pair<std::string, Value> &E, const std::string &V) {
+        return E.first < V;
+      });
+}
+
 std::optional<Value> Stack::get(const std::string &Var) const {
-  auto It = Vars.find(Var);
-  if (It == Vars.end())
+  auto It = lowerBoundVar(Vars, Var);
+  if (It == Vars.end() || It->first != Var)
     return std::nullopt;
   return It->second;
 }
@@ -23,11 +35,18 @@ Value Stack::getOrDie(const std::string &Var) const {
 
 Stack Stack::bind(const std::string &Var, Value V) const {
   Stack Out = *this;
-  Out.Vars[Var] = V;
+  Out.set(Var, V);
   return Out;
 }
 
-void Stack::set(const std::string &Var, Value V) { Vars[Var] = V; }
+void Stack::set(const std::string &Var, Value V) {
+  auto It = lowerBoundVar(Vars, Var);
+  if (It != Vars.end() && It->first == Var) {
+    Vars[It - Vars.begin()].second = V;
+    return;
+  }
+  Vars.insert(Vars.begin() + (It - Vars.begin()), {Var, V});
+}
 
 std::string Stack::toString() const {
   std::vector<std::string> Parts;

@@ -17,10 +17,11 @@
 #ifndef PUSHPULL_CORE_OP_H
 #define PUSHPULL_CORE_OP_H
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pushpull {
@@ -39,6 +40,11 @@ using TxId = unsigned;
 /// The paper threads sigma through both the programming language (method
 /// arguments are read from it, results are bound into it) and the operation
 /// records themselves.
+///
+/// Backed by a name-sorted vector rather than a tree map: stacks are tiny
+/// (a handful of short names) but copied constantly — every operation
+/// record carries two — and a vector copy is one allocation where a map
+/// copy is one per node.
 class Stack {
 public:
   Stack() = default;
@@ -64,10 +70,13 @@ public:
   /// Canonical printable form, e.g. "[a->5, x->1]".
   std::string toString() const;
 
-  const std::map<std::string, Value> &entries() const { return Vars; }
+  /// Bindings sorted by name.
+  const std::vector<std::pair<std::string, Value>> &entries() const {
+    return Vars;
+  }
 
 private:
-  std::map<std::string, Value> Vars;
+  std::vector<std::pair<std::string, Value>> Vars;
 };
 
 /// A fully resolved method call: the shared object it targets, the method
@@ -87,6 +96,54 @@ struct ResolvedCall {
   std::string toString() const;
 };
 
+/// Memo slot for an operation's interned denotation key (see
+/// StateTable::opKey).  The key depends only on (Call, Result), both fixed
+/// at creation, so it can be computed once and carried with the record —
+/// including through copies, which machines make constantly.  The slot is
+/// tagged with the owning table's unique id so a record that flows between
+/// specs can never alias another table's key space.  Tag and key are packed
+/// into one atomic word, making concurrent fills from the parallel
+/// explorer's workers safe (both write the identical value).
+///
+/// Contract: the cache follows (Call, Result) through copies, so code that
+/// *mutates* either field on a record that may already have been interned
+/// must call reset() afterwards.  Engine code never does this — it always
+/// fills freshly constructed records — but spec/test helpers that recycle
+/// an Operation variable must.
+class OpKeyCache {
+public:
+  OpKeyCache() = default;
+  OpKeyCache(const OpKeyCache &O)
+      : Packed(O.Packed.load(std::memory_order_relaxed)) {}
+  OpKeyCache &operator=(const OpKeyCache &O) {
+    Packed.store(O.Packed.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// \returns true and sets \p Out if a key cached by table \p TableId is
+  /// present.  Table ids are nonzero, so the empty slot never matches.
+  bool lookup(uint32_t TableId, uint32_t &Out) const {
+    uint64_t P = Packed.load(std::memory_order_relaxed);
+    if (static_cast<uint32_t>(P >> 32) != TableId)
+      return false;
+    Out = static_cast<uint32_t>(P);
+    return true;
+  }
+
+  void store(uint32_t TableId, uint32_t Key) const {
+    Packed.store((static_cast<uint64_t>(TableId) << 32) | Key,
+                 std::memory_order_relaxed);
+  }
+
+  /// Drop the cached key.  Required after mutating the fields the key is
+  /// derived from (see the class comment).
+  void reset() { Packed.store(0, std::memory_order_relaxed); }
+
+private:
+  mutable std::atomic<uint64_t> Packed{0};
+};
+
 /// An operation record op = <m, sigma1, sigma2, id>.
 ///
 /// \c Call is the resolved method; \c Pre is the thread-local stack at the
@@ -104,6 +161,9 @@ struct Operation {
   /// program discards the result.
   std::optional<Value> Result;
   OpId Id = 0;
+  /// Cached interned denotation key; purely a memo, not part of the record
+  /// (Call and Result, which determine it, never change after creation).
+  OpKeyCache KeyCache;
 
   /// Identity in the model is id equality (Section 4: "Notations are all
   /// lifted to lists where equality is given by ids").

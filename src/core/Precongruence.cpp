@@ -6,15 +6,23 @@
 
 using namespace pushpull;
 
-static std::string pairKey(const StateSet &S1, const StateSet &S2) {
-  return S1.key() + '\x1e' + S2.key();
+static uint64_t pairKey(StateSetId S1, StateSetId S2) {
+  return (static_cast<uint64_t>(S1) << 32) | S2;
 }
 
 PrecongruenceChecker::PrecongruenceChecker(const SequentialSpec &Spec,
                                            PrecongruenceLimits Limits)
-    : Spec(Spec), Limits(Limits), Probes(Spec.probeOps()) {}
+    : Spec(Spec), Limits(Limits), Probes(Spec.probeOps()) {
+  ProbeKeys.reserve(Probes.size());
+  for (const Operation &Op : Probes)
+    ProbeKeys.push_back(Spec.table().opKey(Op));
+}
 
 Tri PrecongruenceChecker::check(const StateSet &S1, const StateSet &S2) {
+  return check(Spec.internSet(S1), Spec.internSet(S2));
+}
+
+Tri PrecongruenceChecker::check(StateSetId S1, StateSetId S2) {
   // The coinductive rule unfolds to: l1 =< l2 fails iff some finite probe
   // suffix w has allowed(l1.w) but not allowed(l2.w) — i.e. iff the pair
   // graph reachable from ([[l1]], [[l2]]) under the probe alphabet
@@ -25,38 +33,39 @@ Tri PrecongruenceChecker::check(const StateSet &S1, const StateSet &S2) {
   //  * exhausting the reachable closure without one is an exact Yes (the
   //    visited set is closed under the rule, hence inside the gfp);
   //  * exhausting the pair budget first is Unknown.
-  std::string RootKey = pairKey(S1, S2);
+  StateTable &Table = Spec.table();
+  uint64_t RootKey = pairKey(S1, S2);
   if (KnownGood.count(RootKey))
     return Tri::Yes;
   if (KnownBad.count(RootKey))
     return Tri::No;
 
-  std::unordered_set<std::string> Visited;
-  std::deque<std::pair<StateSet, StateSet>> Frontier;
+  std::unordered_set<uint64_t> Visited;
+  std::deque<std::pair<StateSetId, StateSetId>> Frontier;
   Visited.insert(RootKey);
   Frontier.push_back({S1, S2});
   size_t Budget = Limits.MaxPairs;
 
   while (!Frontier.empty()) {
-    auto [A, B] = std::move(Frontier.front());
+    auto [A, B] = Frontier.front();
     Frontier.pop_front();
 
     // Once the left log is disallowed it stays disallowed (the image of
     // an empty set is empty), so nothing below this pair can violate.
-    if (A.empty())
+    if (Table.setEmpty(A))
       continue;
     // Subset inclusion is closed under extension (images are monotone),
     // so no violation is reachable from an included pair.  This also
     // covers the ubiquitous diagonal case A == B exactly.
-    if (A.subsetOf(B))
+    if (Table.subset(A, B))
       continue;
-    if (B.empty()) {
+    if (Table.setEmpty(B)) {
       // Base violation: allowed(l1.w) but not allowed(l2.w).
       KnownBad.insert(RootKey);
       KnownBad.insert(pairKey(A, B));
       return Tri::No;
     }
-    std::string Key = pairKey(A, B);
+    uint64_t Key = pairKey(A, B);
     if (KnownBad.count(Key)) {
       KnownBad.insert(RootKey);
       return Tri::No;
@@ -69,13 +78,13 @@ Tri PrecongruenceChecker::check(const StateSet &S1, const StateSet &S2) {
     --Budget;
     ++PairsVisited;
 
-    for (const Operation &Op : Probes) {
-      StateSet N1 = Spec.applyOp(A, Op);
-      if (N1.empty())
+    for (size_t I = 0; I < Probes.size(); ++I) {
+      StateSetId N1 = Spec.applyOpId(A, Probes[I], ProbeKeys[I]);
+      if (Table.setEmpty(N1))
         continue; // Extension disallowed on the left: vacuous.
-      StateSet N2 = Spec.applyOp(B, Op);
+      StateSetId N2 = Spec.applyOpId(B, Probes[I], ProbeKeys[I]);
       if (Visited.insert(pairKey(N1, N2)).second)
-        Frontier.push_back({std::move(N1), std::move(N2)});
+        Frontier.push_back({N1, N2});
     }
   }
 
@@ -87,5 +96,5 @@ Tri PrecongruenceChecker::check(const StateSet &S1, const StateSet &S2) {
 
 Tri PrecongruenceChecker::checkLogs(const std::vector<Operation> &L1,
                                     const std::vector<Operation> &L2) {
-  return check(Spec.denote(L1), Spec.denote(L2));
+  return check(Spec.denoteId(L1), Spec.denoteId(L2));
 }

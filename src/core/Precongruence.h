@@ -59,6 +59,10 @@ struct PrecongruenceLimits {
 /// Decision procedure for the shared-log precongruence, with caching that
 /// persists across queries (sound: Yes answers denote membership in the
 /// greatest fixpoint; No answers have finite witnesses).
+///
+/// All internal bookkeeping is on interned StateSetIds: a pair of state
+/// sets is one uint64, so the visited/known sets hash and compare integers
+/// instead of canonical state strings.
 class PrecongruenceChecker {
 public:
   explicit PrecongruenceChecker(const SequentialSpec &Spec,
@@ -66,6 +70,9 @@ public:
 
   /// Is l1 =< l2, where the logs are given by their denotations?
   Tri check(const StateSet &S1, const StateSet &S2);
+
+  /// Interned form: the hot entry point for the mover checker.
+  Tri check(StateSetId S1, StateSetId S2);
 
   /// Is l1 =< l2?  Denotes both logs from the initial states first.
   Tri checkLogs(const std::vector<Operation> &L1,
@@ -79,16 +86,20 @@ public:
   size_t knownGoodCount() const { return KnownGood.size(); }
   size_t knownBadCount() const { return KnownBad.size(); }
 
+  const PrecongruenceLimits &limits() const { return Limits; }
+
 private:
   const SequentialSpec &Spec;
   PrecongruenceLimits Limits;
   std::vector<Operation> Probes;
+  /// Interned denotation keys of Probes, index-aligned.
+  std::vector<OpKeyId> ProbeKeys;
 
   /// Pairs proved related by a completed (counterexample-free) query.
-  std::unordered_set<std::string> KnownGood;
+  std::unordered_set<uint64_t> KnownGood;
   /// Pairs with a concrete counterexample (the refuted pair and every pair
   /// on the path that reached it).
-  std::unordered_set<std::string> KnownBad;
+  std::unordered_set<uint64_t> KnownBad;
 
   uint64_t PairsVisited = 0;
 };

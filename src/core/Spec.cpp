@@ -5,6 +5,8 @@
 #include "support/Str.h"
 
 #include <algorithm>
+#include <cassert>
+#include <mutex>
 
 using namespace pushpull;
 
@@ -34,6 +36,160 @@ std::string StateSet::toString() const {
   return "{" + join(States, " | ") + "}";
 }
 
+//===----------------------------------------------------------------------===//
+// StateTable
+//===----------------------------------------------------------------------===//
+
+static uint32_t freshTableId() {
+  // Start at 1: per-Operation key caches use id 0 for "empty".
+  static std::atomic<uint32_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+StateTable::StateTable() : TableId(freshTableId()) {
+  // Reserve id 0 for the empty set so emptiness checks are `Id == 0`.
+  auto Entry = std::make_unique<SetEntry>();
+  SetIds.emplace(std::vector<StateId>{}, EmptySetId);
+  Sets.push_back(std::move(Entry));
+}
+
+StateId StateTable::internState(const State &S) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    auto It = StateIds.find(S);
+    if (It != StateIds.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  auto [It, Fresh] =
+      StateIds.try_emplace(S, static_cast<StateId>(StateIds.size()));
+  (void)Fresh;
+  return It->second;
+}
+
+StateSetId StateTable::internSorted(std::vector<StateId> Members,
+                                    StateSet &&Canonical) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    auto It = SetIds.find(Members);
+    if (It != SetIds.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  auto It = SetIds.find(Members);
+  if (It != SetIds.end())
+    return It->second;
+  StateSetId Id = static_cast<StateSetId>(Sets.size());
+  auto Entry = std::make_unique<SetEntry>();
+  Entry->Canonical = std::move(Canonical);
+  Entry->Members = Members;
+  Sets.push_back(std::move(Entry));
+  SetIds.emplace(std::move(Members), Id);
+  return Id;
+}
+
+StateSetId StateTable::internSet(const StateSet &S) {
+  return internSet(StateSet(S));
+}
+
+StateSetId StateTable::internSet(StateSet &&S) {
+  if (S.empty())
+    return EmptySetId;
+  std::vector<StateId> Members;
+  Members.reserve(S.size());
+  for (const State &St : S.states())
+    Members.push_back(internState(St));
+  std::sort(Members.begin(), Members.end());
+  return internSorted(std::move(Members), std::move(S));
+}
+
+const StateSet &StateTable::setOf(StateSetId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  assert(Id < Sets.size() && "bad state-set id");
+  // The entry is immutable once published and heap-stable, so the
+  // reference survives the lock.
+  return Sets[Id]->Canonical;
+}
+
+const std::vector<StateId> &StateTable::membersOf(StateSetId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  assert(Id < Sets.size() && "bad state-set id");
+  return Sets[Id]->Members;
+}
+
+bool StateTable::subset(StateSetId A, StateSetId B) const {
+  if (A == B || A == EmptySetId)
+    return true;
+  if (B == EmptySetId)
+    return false;
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  assert(A < Sets.size() && B < Sets.size() && "bad state-set id");
+  const std::vector<StateId> &MA = Sets[A]->Members;
+  const std::vector<StateId> &MB = Sets[B]->Members;
+  return std::includes(MB.begin(), MB.end(), MA.begin(), MA.end());
+}
+
+OpKeyId StateTable::opKey(const Operation &Op) {
+  // Fast path: the operation already carries the key this table assigned.
+  OpKeyId Cached;
+  if (Op.KeyCache.lookup(TableId, Cached))
+    return Cached;
+  std::string Key = Op.Call.toString();
+  if (Op.Result) {
+    Key += '=';
+    Key += std::to_string(*Op.Result);
+  }
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    auto It = OpKeys.find(Key);
+    if (It != OpKeys.end()) {
+      Op.KeyCache.store(TableId, It->second);
+      return It->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  auto [It, Fresh] =
+      OpKeys.try_emplace(std::move(Key), static_cast<OpKeyId>(OpKeys.size()));
+  (void)Fresh;
+  Op.KeyCache.store(TableId, It->second);
+  return It->second;
+}
+
+bool StateTable::lookupTransition(StateSetId S, OpKeyId Op, StateSetId &Out) {
+  uint64_t Key = (static_cast<uint64_t>(S) << 32) | Op;
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Transitions.find(Key);
+  if (It == Transitions.end()) {
+    TransitionMisses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  TransitionHits.fetch_add(1, std::memory_order_relaxed);
+  Out = It->second;
+  return true;
+}
+
+void StateTable::recordTransition(StateSetId S, OpKeyId Op,
+                                  StateSetId Result) {
+  uint64_t Key = (static_cast<uint64_t>(S) << 32) | Op;
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  Transitions.emplace(Key, Result);
+}
+
+InternStats StateTable::stats() const {
+  InternStats Out;
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  Out.StatesInterned = StateIds.size();
+  Out.StateSetsInterned = Sets.size();
+  Out.OpKeysInterned = OpKeys.size();
+  Out.TransitionMemoHits = TransitionHits.load(std::memory_order_relaxed);
+  Out.TransitionMemoMisses = TransitionMisses.load(std::memory_order_relaxed);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// SequentialSpec
+//===----------------------------------------------------------------------===//
+
 SequentialSpec::~SequentialSpec() = default;
 
 Tri SequentialSpec::leftMoverHint(const Operation &, const Operation &) const {
@@ -44,36 +200,74 @@ StateSet SequentialSpec::initial() const {
   return StateSet::of(initialStates());
 }
 
-StateSet SequentialSpec::applyOp(const StateSet &S, const Operation &Op) const {
-  std::vector<State> Out;
-  for (const State &St : S.states())
+StateSetId SequentialSpec::initialId() const {
+  StateSetId Id = CachedInitial.load(std::memory_order_acquire);
+  if (Id != NoInitial)
+    return Id;
+  // Racing computations intern the same canonical set, so the CAS loser's
+  // work is identical and harmless.
+  Id = Table.internSet(initial());
+  CachedInitial.store(Id, std::memory_order_release);
+  return Id;
+}
+
+StateSetId SequentialSpec::applyOpId(StateSetId S, const Operation &Op) const {
+  return applyOpId(S, Op, Table.opKey(Op));
+}
+
+StateSetId SequentialSpec::applyOpId(StateSetId S, const Operation &Op,
+                                     OpKeyId Key) const {
+  if (Table.setEmpty(S))
+    return StateTable::EmptySetId;
+  StateSetId Out;
+  if (Table.lookupTransition(S, Key, Out))
+    return Out;
+  const StateSet &In = Table.setOf(S);
+  std::vector<State> Next;
+  for (const State &St : In.states())
     for (State &Succ : successors(St, Op))
-      Out.push_back(std::move(Succ));
-  return StateSet::of(std::move(Out));
+      Next.push_back(std::move(Succ));
+  Out = Table.internSet(StateSet::of(std::move(Next)));
+  Table.recordTransition(S, Key, Out);
+  return Out;
 }
 
-StateSet SequentialSpec::denote(const std::vector<Operation> &Log) const {
-  return denoteFrom(initial(), Log);
-}
-
-StateSet SequentialSpec::denoteFrom(const StateSet &From,
-                                    const std::vector<Operation> &Log) const {
-  StateSet S = From;
+StateSetId
+SequentialSpec::denoteFromId(StateSetId From,
+                             const std::vector<Operation> &Log) const {
+  StateSetId S = From;
   for (const Operation &Op : Log) {
-    if (S.empty())
+    if (Table.setEmpty(S))
       break;
-    S = applyOp(S, Op);
+    S = applyOpId(S, Op);
   }
   return S;
 }
 
+StateSetId SequentialSpec::denoteId(const std::vector<Operation> &Log) const {
+  return denoteFromId(initialId(), Log);
+}
+
+StateSet SequentialSpec::applyOp(const StateSet &S, const Operation &Op) const {
+  return Table.setOf(applyOpId(Table.internSet(S), Op));
+}
+
+StateSet SequentialSpec::denote(const std::vector<Operation> &Log) const {
+  return Table.setOf(denoteId(Log));
+}
+
+StateSet SequentialSpec::denoteFrom(const StateSet &From,
+                                    const std::vector<Operation> &Log) const {
+  return Table.setOf(denoteFromId(Table.internSet(From), Log));
+}
+
 bool SequentialSpec::allowed(const std::vector<Operation> &Log) const {
-  return !denote(Log).empty();
+  return !Table.setEmpty(denoteId(Log));
 }
 
 bool SequentialSpec::allowsFrom(const StateSet &SOfLog,
                                 const Operation &Op) const {
-  return !applyOp(SOfLog, Op).empty();
+  return !Table.setEmpty(applyOpId(Table.internSet(SOfLog), Op));
 }
 
 std::vector<Completion>

@@ -29,6 +29,18 @@
 /// hashed and memoized by the fixpoint engines without the engines knowing
 /// anything about the particular specification.
 ///
+/// On top of the canonical encoding sits a hash-consing layer (StateTable):
+/// every canonical state string is interned once into a dense StateId, and
+/// every canonical state set into a dense StateSetId, so the fixpoint
+/// engines (precongruence pair BFS, mover reachable enumeration, explorer
+/// memoization) compare and hash plain integers instead of re-hashing
+/// strings on every frontier insertion.  The table also memoizes the
+/// denotation step itself — (StateSetId, op key) -> StateSetId — so the
+/// same [[S ; op]] image is computed once and shared by every engine that
+/// consults the spec.  The table is internally synchronized: the parallel
+/// explorer's workers share one spec (and thus one transition memo) across
+/// threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PUSHPULL_CORE_SPEC_H
@@ -37,7 +49,12 @@
 #include "core/Op.h"
 #include "support/Tri.h"
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pushpull {
@@ -79,6 +96,115 @@ private:
   std::vector<State> States;
 };
 
+/// Dense identifier of an interned canonical state string.
+using StateId = uint32_t;
+
+/// Dense identifier of an interned canonical state set.  Two StateSetIds
+/// from the same StateTable are equal iff the underlying StateSets are
+/// equal, so set equality/hashing degrades to an integer compare.
+using StateSetId = uint32_t;
+
+/// Dense identifier of an interned operation denotation key.  Denotation
+/// (and moverness) depend only on an operation's resolved call and result,
+/// never on its id or the thread stacks, so operations with the same
+/// (Call, Result) share one OpKeyId.
+using OpKeyId = uint32_t;
+
+/// Counters describing how effective the interning/memoization layer is.
+struct InternStats {
+  uint64_t StatesInterned = 0;
+  uint64_t StateSetsInterned = 0;
+  uint64_t OpKeysInterned = 0;
+  uint64_t TransitionMemoHits = 0;
+  uint64_t TransitionMemoMisses = 0;
+
+  double transitionHitRate() const {
+    uint64_t Total = TransitionMemoHits + TransitionMemoMisses;
+    return Total ? static_cast<double>(TransitionMemoHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Hash-consing table for one specification: canonical states, canonical
+/// state sets, operation keys, and the transition memo
+/// (StateSetId, OpKeyId) -> StateSetId.
+///
+/// Internally synchronized (shared_mutex for the maps, atomics for the
+/// counters) so that the parallel explorer's workers can share one spec.
+/// Interned entries are immutable once published and stored behind stable
+/// pointers, so references returned by \c setOf stay valid forever.
+class StateTable {
+public:
+  /// Id 0 is always the empty set.
+  static constexpr StateSetId EmptySetId = 0;
+
+  StateTable();
+  StateTable(const StateTable &) = delete;
+  StateTable &operator=(const StateTable &) = delete;
+
+  /// Hash-cons one canonical state string.
+  StateId internState(const State &S);
+
+  /// Hash-cons a canonical (sorted, deduplicated) state set.
+  StateSetId internSet(const StateSet &S);
+  StateSetId internSet(StateSet &&S);
+
+  /// The canonical set behind an id.  The reference is stable.
+  const StateSet &setOf(StateSetId Id) const;
+
+  /// The member state ids of a set, sorted by id.  The reference is stable.
+  const std::vector<StateId> &membersOf(StateSetId Id) const;
+
+  bool setEmpty(StateSetId Id) const { return Id == EmptySetId; }
+
+  /// Is set \p A a subset of set \p B?  (Integer-vector inclusion.)
+  bool subset(StateSetId A, StateSetId B) const;
+
+  /// Intern the (Call, Result) denotation key of \p Op.
+  OpKeyId opKey(const Operation &Op);
+
+  /// Transition memo: was [[S ; op]] computed before?
+  bool lookupTransition(StateSetId S, OpKeyId Op, StateSetId &Out);
+  void recordTransition(StateSetId S, OpKeyId Op, StateSetId Result);
+
+  InternStats stats() const;
+
+private:
+  struct SetEntry {
+    StateSet Canonical;
+    std::vector<StateId> Members;
+  };
+
+  StateSetId internSorted(std::vector<StateId> Members, StateSet &&Canonical);
+
+  /// Nonzero id distinguishing this table in per-Operation key caches.
+  const uint32_t TableId;
+
+  struct IdVecHash {
+    size_t operator()(const std::vector<StateId> &V) const {
+      // FNV-1a over the id words; ids are already well-distributed.
+      uint64_t H = 1469598103934665603ull;
+      for (StateId I : V) {
+        H ^= I;
+        H *= 1099511628211ull;
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<std::string, StateId> StateIds;
+  std::unordered_map<std::vector<StateId>, StateSetId, IdVecHash> SetIds;
+  /// Indexed by StateSetId; unique_ptr gives entries stable addresses.
+  std::vector<std::unique_ptr<SetEntry>> Sets;
+  std::unordered_map<std::string, OpKeyId> OpKeys;
+  /// (StateSetId << 32 | OpKeyId) -> result StateSetId.
+  std::unordered_map<uint64_t, StateSetId> Transitions;
+
+  std::atomic<uint64_t> TransitionHits{0}, TransitionMisses{0};
+};
+
 /// One allowed way a method call can complete: the result it returns (if
 /// the method returns one).
 struct Completion {
@@ -90,6 +216,11 @@ struct Completion {
 /// Abstract base for sequential specifications (Parameter 3.1).
 class SequentialSpec {
 public:
+  SequentialSpec() = default;
+  /// Copying a spec starts the copy with fresh caches: the interning
+  /// table is per-instance memoization, not semantic state.
+  SequentialSpec(const SequentialSpec &) {}
+  SequentialSpec &operator=(const SequentialSpec &) { return *this; }
   virtual ~SequentialSpec();
 
   /// Short diagnostic name, e.g. "set(u=4)".
@@ -127,7 +258,8 @@ public:
   /// The denotation of the empty log: the set of initial states.
   StateSet initial() const;
 
-  /// [[S ; op]]: image of \p S under \p Op.
+  /// [[S ; op]]: image of \p S under \p Op.  Routed through the interning
+  /// table's transition memo, so repeated images are hash lookups.
   StateSet applyOp(const StateSet &S, const Operation &Op) const;
 
   /// [[l]] starting from the initial states.
@@ -149,6 +281,45 @@ public:
   /// non-emptiness of the denotation).
   std::vector<Completion> completionsFrom(const StateSet &S,
                                           const ResolvedCall &Call) const;
+
+  // -- Interned denotation (the hot-path form of the helpers above) --------
+  //
+  // Interning is representation only: setOf(applyOpId(internSet(S), op))
+  // is always the same canonical StateSet that applyOp(S, op) returns.
+
+  /// This spec's hash-consing table.  Mutable: a pure cache.
+  StateTable &table() const { return Table; }
+
+  /// Intern an already-canonical set.
+  StateSetId internSet(const StateSet &S) const { return Table.internSet(S); }
+
+  /// The canonical set behind an id (stable reference).
+  const StateSet &setOf(StateSetId Id) const { return Table.setOf(Id); }
+
+  /// Interned denotation of the empty log.
+  StateSetId initialId() const;
+
+  /// [[S ; op]] on interned sets, memoized in the transition memo.
+  StateSetId applyOpId(StateSetId S, const Operation &Op) const;
+
+  /// Same, with the operation's key already interned (lets search loops
+  /// hoist the key computation out of the frontier loop).
+  StateSetId applyOpId(StateSetId S, const Operation &Op, OpKeyId Key) const;
+
+  /// [[l]] from \p From, on interned sets.
+  StateSetId denoteFromId(StateSetId From,
+                          const std::vector<Operation> &Log) const;
+
+  /// [[l]] from the initial states, on interned sets.
+  StateSetId denoteId(const std::vector<Operation> &Log) const;
+
+  /// Interning/memoization counters for this spec.
+  InternStats internStats() const { return Table.stats(); }
+
+private:
+  mutable StateTable Table;
+  mutable std::atomic<StateSetId> CachedInitial{NoInitial};
+  static constexpr StateSetId NoInitial = 0xffffffff;
 };
 
 } // namespace pushpull

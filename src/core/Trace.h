@@ -21,6 +21,7 @@
 #include "core/Op.h"
 
 #include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,13 +44,31 @@ struct TraceEvent {
 };
 
 /// An append-only record of rule applications across all threads.
+///
+/// Stored as a persistent (structurally shared) list: copying a trace is
+/// O(1) and shares the recorded prefix with the original.  The explorer
+/// copies whole machines once per candidate successor, so trace copies are
+/// on its innermost loop; appends after a copy never disturb the original
+/// (each copy grows its own tail).  Reading in event order materializes a
+/// vector, which only the reporting paths do.
 class RuleTrace {
 public:
+  RuleTrace() = default;
+  RuleTrace(const RuleTrace &) = default;
+  RuleTrace(RuleTrace &&) = default;
+  // Assignment and destruction release the old chain iteratively; the
+  // default (recursive shared_ptr teardown) would overflow the stack on
+  // the multi-thousand-event traces long scheduler runs record.
+  RuleTrace &operator=(const RuleTrace &O);
+  RuleTrace &operator=(RuleTrace &&O) noexcept;
+  ~RuleTrace() { release(); }
+
   void record(TraceEvent E);
 
-  const std::vector<TraceEvent> &events() const { return Events; }
-  bool empty() const { return Events.empty(); }
-  size_t size() const { return Events.size(); }
+  /// All events, oldest first (materialized on demand).
+  std::vector<TraceEvent> events() const;
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
 
   /// Number of events with the given rule kind.
   size_t countOf(RuleKind K) const;
@@ -60,10 +79,26 @@ public:
   /// Figure 7-style rendering: one "RULE(op)" line per event.
   std::string toString() const;
 
-  void clear() { Events.clear(); }
+  void clear() {
+    release();
+    Count = 0;
+    NextSeq = 0;
+  }
 
 private:
-  std::vector<TraceEvent> Events;
+  struct Node {
+    TraceEvent E;
+    std::shared_ptr<Node> Prev;
+  };
+
+  /// Drop this trace's chain without recursing.
+  void release();
+
+  /// Visit all events oldest-first.
+  template <typename Fn> void forEachInOrder(Fn &&F) const;
+
+  std::shared_ptr<Node> Newest;
+  size_t Count = 0;
   uint64_t NextSeq = 0;
 };
 

@@ -83,7 +83,10 @@ bool Code::equals(const Code &O) const {
 }
 
 CodePtr Code::makeSkip() {
-  return CodePtr(new Code(CodeKind::Skip));
+  // Skip carries no payload and nodes are immutable, so one shared
+  // instance serves every continuation step() synthesizes.
+  static const CodePtr Skip(new Code(CodeKind::Skip));
+  return Skip;
 }
 
 CodePtr Code::makeCall(MethodExpr M) {

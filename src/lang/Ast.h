@@ -27,6 +27,7 @@
 #include "core/Op.h"
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <variant>
@@ -86,6 +87,11 @@ public:
   /// Structural (not pointer) equality.
   bool equals(const Code &O) const;
 
+  /// This node rendered as by printCode, computed once and cached on the
+  /// node (nodes are immutable and shared, and the explorer's
+  /// configuration keys render remaining code on the innermost loop).
+  const std::string &printed() const;
+
   // Factories.
   static CodePtr makeSkip();
   static CodePtr makeCall(MethodExpr M);
@@ -100,6 +106,9 @@ private:
   CodeKind Kind;
   MethodExpr Call;
   CodePtr Lhs, Rhs, Body;
+  /// Lazily filled by printed(); never part of node identity.
+  mutable std::once_flag PrintedOnce;
+  mutable std::string Printed;
 };
 
 /// Convenience free-function aliases for building programs fluently.

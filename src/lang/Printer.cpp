@@ -51,3 +51,13 @@ std::string printAt(const CodePtr &C, int Ambient) {
 std::string pushpull::printCode(const CodePtr &C) {
   return printAt(C, PrecChoice);
 }
+
+const std::string &Code::printed() const {
+  std::call_once(PrintedOnce, [this] {
+    // Rebuild a CodePtr alias onto ourselves for the recursive printer;
+    // the no-op deleter keeps this from double-owning the node.
+    CodePtr Self(const_cast<const Code *>(this), [](const Code *) {});
+    Printed = printAt(Self, PrecChoice);
+  });
+  return Printed;
+}

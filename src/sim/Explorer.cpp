@@ -5,51 +5,204 @@
 #include "core/Invariants.h"
 #include "lang/Printer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
 using namespace pushpull;
+
+namespace {
+
+/// Render everything the commit-order oracle looks at — the commit-ordered
+/// transactions (body, start/final stacks) and the committed shared log —
+/// into a key.  Two machines with equal keys get identical verdicts from
+/// SerializabilityChecker::checkCommitOrder, which is deterministic in
+/// that content, so verdicts can be memoized per explorer (or per worker).
+std::string committedContentKey(const PushPullMachine &M, StateTable &Table) {
+  const std::vector<CommittedTx> &Txs = M.committed();
+  std::vector<const CommittedTx *> Order;
+  Order.reserve(Txs.size());
+  for (const CommittedTx &T : Txs)
+    Order.push_back(&T);
+  std::sort(Order.begin(), Order.end(),
+            [](const CommittedTx *A, const CommittedTx *B) {
+              return A->CommitSeq < B->CommitSeq;
+            });
+
+  std::string Key;
+  Key.reserve(32 + 48 * Order.size());
+  auto AppendStack = [&Key](const Stack &S) {
+    for (const auto &[Var, Val] : S.entries()) {
+      Key += Var;
+      Key += '>';
+      Key += std::to_string(Val);
+      Key += ',';
+    }
+  };
+  for (const CommittedTx *T : Order) {
+    Key += T->Body->printed();
+    Key += '\x01';
+    AppendStack(T->Sigma);
+    Key += '\x01';
+    AppendStack(T->FinalSigma);
+    Key += '\x02';
+  }
+  for (const Operation &Op : M.committedLog()) {
+    Key += std::to_string(Table.opKey(Op));
+    Key += ';';
+  }
+  return Key;
+}
+
+/// checkCommitOrder through a verdict memo (see committedContentKey).
+const SerializabilityVerdict &cachedCommitOrderVerdict(
+    SerializabilityChecker &Oracle,
+    std::unordered_map<std::string, SerializabilityVerdict> &Memo,
+    StateTable &Table, const PushPullMachine &M) {
+  std::string Key = committedContentKey(M, Table);
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  return Memo.emplace(std::move(Key), Oracle.checkCommitOrder(M))
+      .first->second;
+}
+
+/// Enumerate every enabled move from \p M, in the canonical rule order the
+/// sequential DFS has always used.  \p Emit receives each successor
+/// machine; the counters account applied/rejected attempts.  Shared by the
+/// sequential and parallel engines so their enumeration (and thus their
+/// visited closure) is identical.
+template <typename Emit>
+void expandSuccessors(const PushPullMachine &M, const ExplorerConfig &Config,
+                      uint64_t &RuleApplications, uint64_t &RejectedAttempts,
+                      Emit &&EmitNext) {
+  // Rejected rule attempts never mutate the machine (the Machine.h
+  // contract: schedulers may probe moves freely), so one scratch copy of
+  // M is reused across consecutive rejections; only an applied rule
+  // consumes it.  This turns "one machine copy per attempt" into "one
+  // per applied rule plus one", and rejections outnumber applications by
+  // an order of magnitude on typical scopes.
+  std::optional<PushPullMachine> Scratch;
+  auto Attempt = [&](auto &&Apply) {
+    if (!Scratch)
+      Scratch.emplace(M);
+    if (Apply(*Scratch)) {
+      ++RuleApplications;
+      EmitNext(std::move(*Scratch));
+      Scratch.reset();
+    } else {
+      ++RejectedAttempts;
+    }
+  };
+
+  for (const ThreadState &Th : M.threads()) {
+    TxId T = Th.Tid;
+
+    if (!Th.InTx) {
+      if (!Th.Pending.empty()) {
+        // Guarded begin: cannot fail, so it never counts as rejected.
+        if (!Scratch)
+          Scratch.emplace(M);
+        if (Scratch->beginTx(T)) {
+          ++RuleApplications;
+          EmitNext(std::move(*Scratch));
+          Scratch.reset();
+        }
+      }
+      continue;
+    }
+
+    // APP: every (step choice, completion) pair.
+    for (const AppChoice &Choice : M.appChoices(T))
+      for (size_t CI = 0; CI < Choice.Completions.size(); ++CI)
+        Attempt([&](PushPullMachine &N) {
+          return N.app(T, Choice.StepIdx, CI).Applied;
+        });
+
+    // PUSH every npshd entry.
+    for (size_t I : Th.L.indicesOf(LocalKind::NotPushed))
+      Attempt([&](PushPullMachine &N) { return N.push(T, I).Applied; });
+
+    // PULL every global entry not in L (respecting the opacity toggle).
+    for (size_t GI = 0; GI < M.global().size(); ++GI) {
+      const GlobalEntry &GE = M.global()[GI];
+      if (Th.L.contains(GE.Op.Id))
+        continue;
+      if (!Config.ExploreUncommittedPulls &&
+          GE.Kind == GlobalKind::Uncommitted)
+        continue;
+      Attempt([&](PushPullMachine &N) { return N.pull(T, GI).Applied; });
+    }
+
+    // CMT.
+    Attempt([&](PushPullMachine &N) { return N.commit(T).Applied; });
+
+    if (Config.ExploreBackwardRules) {
+      Attempt([&](PushPullMachine &N) { return N.unapp(T).Applied; });
+      for (size_t I : Th.L.indicesOf(LocalKind::Pushed))
+        Attempt([&](PushPullMachine &N) { return N.unpush(T, I).Applied; });
+      for (size_t I : Th.L.indicesOf(LocalKind::Pulled))
+        Attempt([&](PushPullMachine &N) { return N.unpull(T, I).Applied; });
+    }
+  }
+}
+
+/// One unit of parallel work: a configuration and the depth it was
+/// reached at.
+struct WorkItem {
+  PushPullMachine M;
+  size_t Depth;
+};
+
+/// Sharded concurrent visited map: configuration key -> shallowest depth
+/// seen.  Same protocol as the sequential map (first claim is "fresh" and
+/// does the per-config accounting; a later claim at a shallower depth
+/// re-explores without re-accounting).
+class ShardedVisited {
+public:
+  struct Claim {
+    bool Fresh;   ///< First time this config was ever seen.
+    bool Explore; ///< Caller should expand its successors.
+  };
+
+  Claim claim(std::string Key, size_t Depth) {
+    Shard &S = Shards[std::hash<std::string>{}(Key) & (NumShards - 1)];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto [It, Fresh] = S.Map.try_emplace(std::move(Key), Depth);
+    if (Fresh)
+      return {true, true};
+    if (It->second <= Depth)
+      return {false, false};
+    It->second = Depth;
+    return {false, true};
+  }
+
+private:
+  static constexpr size_t NumShards = 64;
+  struct Shard {
+    std::mutex Mutex;
+    std::unordered_map<std::string, size_t> Map;
+  };
+  Shard Shards[NumShards];
+};
+
+} // namespace
 
 Explorer::Explorer(const SequentialSpec &Spec, MoverChecker &Movers,
                    ExplorerConfig Config)
     : Spec(Spec), Movers(Movers), Config(Config), Oracle(Spec) {}
-
-std::string Explorer::configKey(const PushPullMachine &M) {
-  // Operation ids differ between branches that apply "the same" operation,
-  // so the key renders operations by call/result and logs by structure.
-  std::string Out;
-  for (const ThreadState &Th : M.threads()) {
-    Out += Th.InTx ? "T:" + printCode(Th.Code) : std::string("idle");
-    Out += '\x01';
-    Out += Th.Sigma.toString();
-    Out += '\x01';
-    for (const LocalEntry &E : Th.L.entries()) {
-      Out += E.Op.Call.toString();
-      if (E.Op.Result)
-        Out += "=" + std::to_string(*E.Op.Result);
-      Out += toString(E.Kind);
-      // Position of this op in G links L and G structurally.
-      size_t GI = M.global().indexOf(E.Op.Id);
-      Out += GI == GlobalLog::npos ? std::string("-")
-                                   : std::to_string(GI);
-      Out += ';';
-    }
-    Out += std::to_string(Th.Pending.size());
-    Out += '\x02';
-  }
-  for (const GlobalEntry &E : M.global().entries()) {
-    Out += E.Op.Call.toString();
-    if (E.Op.Result)
-      Out += "=" + std::to_string(*E.Op.Result);
-    Out += E.Kind == GlobalKind::Committed ? "C" : "U";
-    Out += std::to_string(E.Owner);
-    Out += ';';
-  }
-  return Out;
-}
 
 ExplorerReport
 Explorer::explore(const std::vector<std::vector<CodePtr>> &Programs) {
   PushPullMachine M(Spec, Movers, Config.Machine);
   for (const auto &P : Programs)
     M.addThread(P);
+
+  if (Config.Threads > 1)
+    return exploreParallel(std::move(M));
 
   Visited.clear();
   ExplorerReport Report;
@@ -63,7 +216,7 @@ void Explorer::visit(PushPullMachine M, size_t Depth,
     Report.Truncated = true;
     return;
   }
-  std::string Key = configKey(M);
+  std::string Key = M.configKey();
   auto [It, Fresh] = Visited.try_emplace(Key, Depth);
   if (!Fresh) {
     if (It->second <= Depth)
@@ -92,7 +245,8 @@ void Explorer::visit(PushPullMachine M, size_t Depth,
     if (!Fresh)
       return;
     ++Report.TerminalConfigs;
-    SerializabilityVerdict V = Oracle.checkCommitOrder(M);
+    const SerializabilityVerdict &V =
+        cachedCommitOrderVerdict(Oracle, OracleMemo, Spec.table(), M);
     if (V.Serializable != Tri::Yes) {
       ++Report.NonSerializable;
       if (Report.FirstFailure.empty()) {
@@ -110,89 +264,144 @@ void Explorer::visit(PushPullMachine M, size_t Depth,
     return;
   }
 
-  // Enumerate every enabled move from this configuration.
-  auto Recurse = [&](PushPullMachine Next) {
-    ++Report.RuleApplications;
-    visit(std::move(Next), Depth + 1, Report);
+  expandSuccessors(M, Config, Report.RuleApplications,
+                   Report.RejectedAttempts, [&](PushPullMachine Next) {
+                     visit(std::move(Next), Depth + 1, Report);
+                   });
+}
+
+ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
+  struct SharedState {
+    std::mutex QueueMutex;
+    std::condition_variable QueueCV;
+    std::vector<WorkItem> Stack; // LIFO: depth-first-ish, bounded frontier.
+    size_t ActiveWorkers = 0;
+
+    ShardedVisited Visited;
+    std::atomic<uint64_t> ConfigsVisited{0}, TerminalConfigs{0};
+    std::atomic<uint64_t> RuleApplications{0}, RejectedAttempts{0};
+    std::atomic<uint64_t> NonSerializable{0}, InvariantViolations{0};
+    std::atomic<bool> Truncated{false};
+
+    std::mutex FailureMutex;
+    std::string FirstFailure;
+  } Shared;
+
+  Shared.Stack.push_back(WorkItem{std::move(Root), 0});
+
+  auto Worker = [&]() {
+    // Worker-local checkers: verdicts are cache-independent, so private
+    // caches are sound; the expensive denotation steps are still shared
+    // across workers through the spec's interning table.
+    MoverChecker WorkerMovers(Spec, Movers.limits(),
+                              Movers.precongruence().limits());
+    SerializabilityChecker WorkerOracle(Spec);
+    std::unordered_map<std::string, SerializabilityVerdict> WorkerMemo;
+    std::vector<WorkItem> Children;
+
+    auto RecordFailure = [&](const std::string &Text) {
+      std::lock_guard<std::mutex> Lock(Shared.FailureMutex);
+      if (Shared.FirstFailure.empty())
+        Shared.FirstFailure = Text;
+    };
+
+    for (;;) {
+      std::optional<WorkItem> Item;
+      {
+        std::unique_lock<std::mutex> Lock(Shared.QueueMutex);
+        Shared.QueueCV.wait(Lock, [&] {
+          return !Shared.Stack.empty() || Shared.ActiveWorkers == 0;
+        });
+        if (Shared.Stack.empty())
+          return; // No work anywhere and nobody producing: done.
+        Item.emplace(std::move(Shared.Stack.back()));
+        Shared.Stack.pop_back();
+        ++Shared.ActiveWorkers;
+      }
+
+      Children.clear();
+      PushPullMachine &M = Item->M;
+      size_t Depth = Item->Depth;
+      M.setMovers(WorkerMovers);
+
+      if (Shared.ConfigsVisited.load(std::memory_order_relaxed) >=
+              Config.MaxConfigs ||
+          Depth > Config.MaxDepth) {
+        Shared.Truncated.store(true, std::memory_order_relaxed);
+      } else if (auto C = Shared.Visited.claim(M.configKey(), Depth);
+                 C.Explore) {
+        if (C.Fresh)
+          Shared.ConfigsVisited.fetch_add(1, std::memory_order_relaxed);
+
+        if (Config.CheckInvariants && C.Fresh) {
+          for (const ThreadState &Th : M.threads()) {
+            InvariantReport IR =
+                checkAllInvariants(Th, M.global(), WorkerMovers);
+            if (!IR.Holds) {
+              Shared.InvariantViolations.fetch_add(1,
+                                                   std::memory_order_relaxed);
+              RecordFailure(IR.Which + ": " + IR.Detail);
+            }
+          }
+        }
+
+        if (M.quiescent()) {
+          if (C.Fresh) {
+            Shared.TerminalConfigs.fetch_add(1, std::memory_order_relaxed);
+            const SerializabilityVerdict &V = cachedCommitOrderVerdict(
+                WorkerOracle, WorkerMemo, Spec.table(), M);
+            if (V.Serializable != Tri::Yes) {
+              Shared.NonSerializable.fetch_add(1, std::memory_order_relaxed);
+              std::string Text = "non-serializable terminal: " + V.Detail +
+                                 "\n" + M.toString();
+              for (const CommittedTx &Cm : M.committed())
+                Text += "  commit[" + std::to_string(Cm.CommitSeq) + "] t" +
+                        std::to_string(Cm.Tid) + ": " + printCode(Cm.Body) +
+                        " start=" + Cm.Sigma.toString() + " final=" +
+                        Cm.FinalSigma.toString() + "\n";
+              Text += "  trace:\n" + M.trace().toString();
+              RecordFailure(Text);
+            }
+          }
+        } else {
+          uint64_t Applied = 0, Rejected = 0;
+          expandSuccessors(M, Config, Applied, Rejected,
+                           [&](PushPullMachine Next) {
+                             Children.push_back(
+                                 WorkItem{std::move(Next), Depth + 1});
+                           });
+          Shared.RuleApplications.fetch_add(Applied,
+                                            std::memory_order_relaxed);
+          Shared.RejectedAttempts.fetch_add(Rejected,
+                                            std::memory_order_relaxed);
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> Lock(Shared.QueueMutex);
+        for (WorkItem &C : Children)
+          Shared.Stack.push_back(std::move(C));
+        --Shared.ActiveWorkers;
+      }
+      Shared.QueueCV.notify_all();
+    }
   };
 
-  for (const ThreadState &Th : M.threads()) {
-    TxId T = Th.Tid;
+  std::vector<std::thread> Pool;
+  Pool.reserve(Config.Threads);
+  for (unsigned I = 0; I < Config.Threads; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
 
-    if (!Th.InTx) {
-      if (!Th.Pending.empty()) {
-        PushPullMachine Next = M;
-        if (Next.beginTx(T))
-          Recurse(std::move(Next));
-      }
-      continue;
-    }
-
-    // APP: every (step choice, completion) pair.
-    for (const AppChoice &Choice : M.appChoices(T))
-      for (size_t CI = 0; CI < Choice.Completions.size(); ++CI) {
-        PushPullMachine Next = M;
-        if (Next.app(T, Choice.StepIdx, CI).Applied)
-          Recurse(std::move(Next));
-        else
-          ++Report.RejectedAttempts;
-      }
-
-    // PUSH every npshd entry.
-    for (size_t I : Th.L.indicesOf(LocalKind::NotPushed)) {
-      PushPullMachine Next = M;
-      if (Next.push(T, I).Applied)
-        Recurse(std::move(Next));
-      else
-        ++Report.RejectedAttempts;
-    }
-
-    // PULL every global entry not in L (respecting the opacity toggle).
-    for (size_t GI = 0; GI < M.global().size(); ++GI) {
-      const GlobalEntry &GE = M.global()[GI];
-      if (Th.L.contains(GE.Op.Id))
-        continue;
-      if (!Config.ExploreUncommittedPulls &&
-          GE.Kind == GlobalKind::Uncommitted)
-        continue;
-      PushPullMachine Next = M;
-      if (Next.pull(T, GI).Applied)
-        Recurse(std::move(Next));
-      else
-        ++Report.RejectedAttempts;
-    }
-
-    // CMT.
-    {
-      PushPullMachine Next = M;
-      if (Next.commit(T).Applied)
-        Recurse(std::move(Next));
-      else
-        ++Report.RejectedAttempts;
-    }
-
-    if (Config.ExploreBackwardRules) {
-      {
-        PushPullMachine Next = M;
-        if (Next.unapp(T).Applied)
-          Recurse(std::move(Next));
-        else
-          ++Report.RejectedAttempts;
-      }
-      for (size_t I : Th.L.indicesOf(LocalKind::Pushed)) {
-        PushPullMachine Next = M;
-        if (Next.unpush(T, I).Applied)
-          Recurse(std::move(Next));
-        else
-          ++Report.RejectedAttempts;
-      }
-      for (size_t I : Th.L.indicesOf(LocalKind::Pulled)) {
-        PushPullMachine Next = M;
-        if (Next.unpull(T, I).Applied)
-          Recurse(std::move(Next));
-        else
-          ++Report.RejectedAttempts;
-      }
-    }
-  }
+  ExplorerReport Report;
+  Report.ConfigsVisited = Shared.ConfigsVisited.load();
+  Report.TerminalConfigs = Shared.TerminalConfigs.load();
+  Report.RuleApplications = Shared.RuleApplications.load();
+  Report.RejectedAttempts = Shared.RejectedAttempts.load();
+  Report.NonSerializable = Shared.NonSerializable.load();
+  Report.InvariantViolations = Shared.InvariantViolations.load();
+  Report.Truncated = Shared.Truncated.load();
+  Report.FirstFailure = std::move(Shared.FirstFailure);
+  return Report;
 }

@@ -18,6 +18,18 @@
 /// Optionally the Section 5.3 invariants are re-checked at every explored
 /// configuration (Lemmas 5.7-5.13 as runtime assertions).
 ///
+/// With ExplorerConfig::Threads > 1 the search runs on a worker pool: a
+/// shared LIFO work queue of configurations, a sharded concurrent visited
+/// map, per-worker mover checkers and oracles (verdicts are cache-
+/// independent, so worker-local caches are sound), and atomic report
+/// counters.  The visited/accounting protocol is the same as the
+/// sequential DFS, so the aggregate totals ConfigsVisited /
+/// TerminalConfigs / NonSerializable / InvariantViolations are
+/// deterministic and equal to the Threads=1 run on non-truncated
+/// explorations; only visit order (and thus RuleApplications /
+/// RejectedAttempts re-exploration counts and which failure is reported
+/// first) may differ.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PUSHPULL_SIM_EXPLORER_H
@@ -49,6 +61,10 @@ struct ExplorerConfig {
   uint64_t MaxConfigs = 2000000;
   /// Abandon paths longer than this many rule applications.
   size_t MaxDepth = 64;
+  /// Worker threads.  1 (the default) keeps the exact sequential DFS;
+  /// >1 shards the search across a pool (same aggregate totals, see the
+  /// file comment).
+  unsigned Threads = 1;
 };
 
 /// Aggregate result of an exploration.
@@ -85,14 +101,17 @@ public:
 private:
   void visit(PushPullMachine M, size_t Depth, ExplorerReport &Report);
 
-  /// Canonical key of a machine configuration (threads' code, stacks,
-  /// logs, and G).
-  static std::string configKey(const PushPullMachine &M);
+  ExplorerReport exploreParallel(PushPullMachine Root);
 
   const SequentialSpec &Spec;
   MoverChecker &Movers;
   ExplorerConfig Config;
   SerializabilityChecker Oracle;
+  /// Committed-content key -> oracle verdict.  The commit-order verdict is
+  /// a pure function of the commit-ordered transaction bodies/stacks and
+  /// the committed shared log, so distinct terminal configurations with
+  /// identical committed content share one atomic-machine search.
+  std::unordered_map<std::string, SerializabilityVerdict> OracleMemo;
   /// Configuration key -> shallowest depth it has been visited at.  A
   /// config first reached near the depth cap would have its subtree
   /// pruned; revisiting it at a shallower depth re-explores it, so

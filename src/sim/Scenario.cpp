@@ -6,6 +6,7 @@
 #include "check/Serializability.h"
 #include "core/Invariants.h"
 #include "lang/Parser.h"
+#include "sim/Explorer.h"
 #include "sim/Scheduler.h"
 #include "spec/BankSpec.h"
 #include "spec/CompositeSpec.h"
@@ -240,7 +241,7 @@ ScenarioParseResult pushpull::parseScenario(const std::string &Text) {
 
 ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   ScenarioOutcome Out;
-  MoverChecker Movers(*S.Spec);
+  MoverChecker Movers(*S.Spec, S.Movers, S.Pre);
   MachineConfig MC;
   MC.KeepAudit = true; // Scenario runs are small; keep the discharge log.
   PushPullMachine M(*S.Spec, Movers, MC);
@@ -320,7 +321,7 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
 
   for (const std::string &Check : S.Checks) {
     if (Check == "serializability" || Check == "serializability-any") {
-      SerializabilityChecker Oracle(*S.Spec);
+      SerializabilityChecker Oracle(*S.Spec, {}, S.Pre);
       SerializabilityVerdict V = Check == "serializability"
                                      ? Oracle.checkCommitOrder(M)
                                      : Oracle.checkAnyOrder(M);
@@ -347,10 +348,30 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
       if (AllHold)
         Out.CheckResults.push_back("invariants: hold");
       Out.Ok = Out.Ok && AllHold;
+    } else if (Check == "explore") {
+      // Exhaustive interleaving exploration of the scenario's programs —
+      // every schedule, not just the one the engine/scheduler produced.
+      ExplorerConfig EC;
+      EC.Threads = S.ExplorerThreads;
+      Explorer Ex(*S.Spec, Movers, EC);
+      ExplorerReport R = Ex.explore(S.Threads);
+      Out.CheckResults.push_back(
+          "explore: " + std::to_string(R.ConfigsVisited) + " configs, " +
+          std::to_string(R.TerminalConfigs) + " terminals, " +
+          std::to_string(R.NonSerializable) + " non-serializable, " +
+          std::to_string(R.InvariantViolations) + " invariant violations" +
+          (R.Truncated ? " (truncated)" : ""));
+      Out.Ok = Out.Ok && R.clean();
     } else {
       Out.CheckResults.push_back("error: unknown check '" + Check + "'");
       Out.Ok = false;
     }
   }
+
+  Out.Caches.Intern = S.Spec->internStats();
+  Out.Caches.MoverMemoHits = Movers.memoHits();
+  Out.Caches.MoverMemoMisses = Movers.memoMisses();
+  Out.Caches.PrecongruencePairs = Movers.precongruence().pairsVisited();
+  Out.Caches.ReachableSets = Movers.reachableComputedCount();
   return Out;
 }

@@ -60,8 +60,14 @@ struct Scenario {
   /// Per-thread transaction sequences.
   std::vector<std::vector<CodePtr>> Threads;
   /// Requested checks: "serializability", "serializability-any",
-  /// "opacity", "invariants".
+  /// "opacity", "invariants", "explore".
   std::vector<std::string> Checks;
+  /// Resource bounds for the mover/precongruence engines the run and its
+  /// checks construct (pprun --max-reachable / --max-pairs).
+  MoverLimits Movers;
+  PrecongruenceLimits Pre;
+  /// Worker threads for the "explore" check (pprun --threads).
+  unsigned ExplorerThreads = 1;
 };
 
 /// Parse outcome.
@@ -95,6 +101,8 @@ struct ScenarioOutcome {
   std::string Audit;
   /// Final committed shared log rendering.
   std::string CommittedLog;
+  /// Interning/memoization effectiveness of the run (pprun --stats).
+  CacheStats Caches;
   /// True iff the run finished and every check passed.
   bool Ok = false;
 };

@@ -40,3 +40,28 @@ std::string RunStats::toString() const {
   Out += "] committedOps=" + std::to_string(CommittedOps);
   return Out;
 }
+
+static std::string percent(double Rate) {
+  return std::to_string(static_cast<int>(Rate * 100.0 + 0.5)) + "%";
+}
+
+std::string CacheStats::toString() const {
+  std::string Out;
+  Out += "  states interned:      " + std::to_string(Intern.StatesInterned) +
+         "\n";
+  Out += "  state sets interned:  " +
+         std::to_string(Intern.StateSetsInterned) + "\n";
+  Out += "  op keys interned:     " + std::to_string(Intern.OpKeysInterned) +
+         "\n";
+  Out += "  transition memo:      " +
+         std::to_string(Intern.TransitionMemoHits) + " hits / " +
+         std::to_string(Intern.TransitionMemoMisses) + " misses (" +
+         percent(Intern.transitionHitRate()) + ")\n";
+  Out += "  mover memo:           " + std::to_string(MoverMemoHits) +
+         " hits / " + std::to_string(MoverMemoMisses) + " misses (" +
+         percent(moverHitRate()) + ")\n";
+  Out += "  precongruence pairs:  " + std::to_string(PrecongruencePairs) +
+         "\n";
+  Out += "  reachable state sets: " + std::to_string(ReachableSets) + "\n";
+  return Out;
+}

@@ -16,6 +16,7 @@
 #ifndef PUSHPULL_SIM_STATS_H
 #define PUSHPULL_SIM_STATS_H
 
+#include "core/Spec.h"
 #include "core/Trace.h"
 
 #include <cstdint>
@@ -50,6 +51,33 @@ struct RunStats {
   void absorbTrace(const RuleTrace &T);
 
   /// One-line rendering for bench output.
+  std::string toString() const;
+};
+
+/// Effectiveness counters for the interning/memoization layer of one run:
+/// the spec's hash-consing table plus the mover/precongruence caches that
+/// sit on top of it.  Purely observational — gathering them never changes
+/// a verdict.
+struct CacheStats {
+  /// The spec table: states/sets/op keys interned and the transition memo.
+  InternStats Intern;
+  /// Left-mover decisions served from the memo vs computed semantically.
+  uint64_t MoverMemoHits = 0;
+  uint64_t MoverMemoMisses = 0;
+  /// State-set pairs visited by the precongruence fixpoint.
+  uint64_t PrecongruencePairs = 0;
+  /// Reachable state sets enumerated for the mover's Definition 4.1
+  /// quantification (0 when no semantic query ran).
+  uint64_t ReachableSets = 0;
+
+  double moverHitRate() const {
+    uint64_t Total = MoverMemoHits + MoverMemoMisses;
+    return Total ? static_cast<double>(MoverMemoHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+
+  /// Multi-line "  key: value" rendering for pprun --stats.
   std::string toString() const;
 };
 

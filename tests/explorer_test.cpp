@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <string>
+
 using namespace pushpull;
 
 TEST(Explorer, SingleThreadAllPathsSerializable) {
@@ -167,4 +171,66 @@ TEST(Explorer, GrayCriteriaAblationConfirmsNotStrictlyNecessary) {
       << WithoutGray.FirstFailure;
   EXPECT_GT(WithoutGray.ConfigsVisited, WithGray.ConfigsVisited)
       << "without the gray criteria the explorer enters the wedged region";
+}
+
+TEST(Explorer, ParallelSearchMatchesSequentialTotals) {
+  // Threads > 1 shards the search but keeps the visited/accounting
+  // protocol, so on non-truncated explorations the deterministic
+  // aggregates (configs, terminals, verdicts) must equal the Threads=1
+  // run exactly — across specs, backward rules, and invariant checking.
+  struct Case {
+    const char *Name;
+    std::function<ExplorerReport(unsigned)> Run;
+  };
+  auto MakeCase = [](auto MakeSpec, std::vector<std::string> Programs,
+                     bool Backward = false, bool Invariants = false) {
+    return [=](unsigned Threads) {
+      auto Spec = MakeSpec();
+      MoverChecker Movers(*Spec);
+      ExplorerConfig EC;
+      EC.Threads = Threads;
+      EC.ExploreBackwardRules = Backward;
+      EC.CheckInvariants = Invariants;
+      EC.MaxConfigs = 500000;
+      Explorer E(*Spec, Movers, EC);
+      std::vector<std::vector<CodePtr>> Ps;
+      for (const std::string &P : Programs)
+        Ps.push_back({parseOrDie(P)});
+      return E.explore(Ps);
+    };
+  };
+
+  std::vector<Case> Cases = {
+      {"register r/w vs w",
+       MakeCase([] { return std::make_unique<RegisterSpec>("mem", 1, 2); },
+                {"tx { v := mem.read(0); mem.write(0, 1) }",
+                 "tx { mem.write(0, 0) }"})},
+      // (Backward-rule explorations are inherently depth-truncated — the
+      // do/undo cycles never bottom out — so they are excluded here: the
+      // totals guarantee is for non-truncated searches.)
+      {"register three threads",
+       MakeCase([] { return std::make_unique<RegisterSpec>("mem", 1, 2); },
+                {"tx { mem.write(0, 1) }", "tx { v := mem.read(0) }",
+                 "tx { mem.write(0, 0) }"})},
+      {"set adds + invariants",
+       MakeCase([] { return std::make_unique<SetSpec>("set", 2); },
+                {"tx { a := set.add(0) }",
+                 "tx { b := set.add(0); c := set.remove(1) }"},
+                /*Backward=*/false, /*Invariants=*/true)},
+      {"queue enq vs enq",
+       MakeCase([] { return std::make_unique<QueueSpec>("q", 2, 2); },
+                {"tx { a := q.enq(0) }", "tx { b := q.enq(1) }"})},
+  };
+
+  for (Case &C : Cases) {
+    ExplorerReport Seq = C.Run(1);
+    ExplorerReport Par = C.Run(4);
+    ASSERT_FALSE(Seq.Truncated) << C.Name;
+    ASSERT_FALSE(Par.Truncated) << C.Name;
+    EXPECT_EQ(Par.ConfigsVisited, Seq.ConfigsVisited) << C.Name;
+    EXPECT_EQ(Par.TerminalConfigs, Seq.TerminalConfigs) << C.Name;
+    EXPECT_EQ(Par.NonSerializable, Seq.NonSerializable) << C.Name;
+    EXPECT_EQ(Par.InvariantViolations, Seq.InvariantViolations) << C.Name;
+    EXPECT_TRUE(Par.clean()) << C.Name << ": " << Par.FirstFailure;
+  }
 }

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Smoke-benchmark harness: run bench_explorer / bench_mover, compare
+against the recorded pre-interning seed baselines, capture cache
+effectiveness from `pprun --stats`, and write the result as JSON
+(BENCH_PR1.json at the repo root, via the `bench-smoke` CMake target).
+
+Only the Python standard library is used.  Times are medians of
+`--repeats` runs of each binary (the benches themselves already average
+over many iterations; the outer repeats damp scheduler noise on small
+containers).
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+import tempfile
+
+# Pre-interning seed medians (ns), recorded on the same 1-CPU container
+# this harness targets.  The seed explorer also reported its throughput
+# counter directly.
+SEED_NS = {
+    "bench_explorer": {
+        "BM_ExploreTwoThreads": 883308.0,
+    },
+    "bench_mover": {
+        "BM_LeftMoverSemanticCold": 64371.0,
+        "BM_PrecongruenceRefutation": 8052.0,
+        "BM_PrecongruenceDiagonal": 615.0,
+        "BM_AllowedDenotation/8": 550.0,
+        "BM_AllowedDenotation/64": 3966.0,
+        "BM_AllowedDenotation/512": 31532.0,
+        "BM_ValidationOverhead/1": 22106.0,
+    },
+}
+SEED_EXPLORER_CONFIGS_PER_SEC = 110527.0
+
+STATS_SCENARIO = """# bench_compare smoke scenario: map transactions + exploration.
+spec map name=map keys=4 vals=3
+engine boosting seed=42
+schedule random seed=7 maxsteps=100000
+thread tx { a := map.put(1, 2) }; tx { b := map.get(1) }
+thread tx { c := map.put(1, 1) }
+check serializability
+check explore
+"""
+
+
+def run_bench(binary, repeats):
+    """Run one google-benchmark binary; return {name: {"ns": median,
+    "counters": {...}}} over the filtered benchmarks."""
+    by_name = {}
+    for _ in range(repeats):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out_path = tmp.name
+        try:
+            subprocess.run(
+                [binary, "--benchmark_out=" + out_path,
+                 "--benchmark_out_format=json"],
+                check=True, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            with open(out_path) as f:
+                report = json.load(f)
+        finally:
+            os.unlink(out_path)
+        for b in report.get("benchmarks", []):
+            name = b["name"]
+            entry = by_name.setdefault(name, {"ns": [], "counters": {}})
+            entry["ns"].append(float(b["real_time"]))
+            for key, val in b.items():
+                if isinstance(val, (int, float)) and key not in (
+                        "real_time", "cpu_time", "iterations",
+                        "repetition_index", "family_index",
+                        "per_family_instance_index", "threads"):
+                    entry["counters"].setdefault(key, []).append(float(val))
+    return {
+        name: {
+            "ns": statistics.median(e["ns"]),
+            "counters": {k: statistics.median(v)
+                         for k, v in e["counters"].items()},
+        }
+        for name, e in by_name.items()
+    }
+
+
+def run_stats_scenario(pprun):
+    """Run pprun --stats on the smoke scenario; parse the cache block."""
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".pp", delete=False) as tmp:
+        tmp.write(STATS_SCENARIO)
+        path = tmp.name
+    try:
+        proc = subprocess.run([pprun, "--stats", path],
+                              capture_output=True, text=True)
+    finally:
+        os.unlink(path)
+    text = proc.stdout
+    stats = {}
+    patterns = {
+        "states_interned": r"states interned:\s+(\d+)",
+        "state_sets_interned": r"state sets interned:\s+(\d+)",
+        "op_keys_interned": r"op keys interned:\s+(\d+)",
+        "transition_memo_hits": r"transition memo:\s+(\d+) hits",
+        "transition_memo_misses": r"transition memo:\s+\d+ hits / (\d+)",
+        "mover_memo_hits": r"mover memo:\s+(\d+) hits",
+        "mover_memo_misses": r"mover memo:\s+\d+ hits / (\d+)",
+        "precongruence_pairs": r"precongruence pairs:\s+(\d+)",
+        "reachable_state_sets": r"reachable state sets:\s+(\d+)",
+    }
+    for key, pat in patterns.items():
+        m = re.search(pat, text)
+        if m:
+            stats[key] = int(m.group(1))
+    hits = stats.get("transition_memo_hits", 0)
+    misses = stats.get("transition_memo_misses", 0)
+    if hits + misses:
+        stats["transition_memo_hit_rate"] = hits / (hits + misses)
+    return stats
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_PR1.json")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args()
+
+    result = {"repeats": args.repeats, "benchmarks": {}, "explorer": {},
+              "cache_stats": {}}
+    worst = None
+
+    for bench, baselines in SEED_NS.items():
+        binary = os.path.join(args.build_dir, "bench", bench)
+        if not os.path.exists(binary):
+            print(f"error: {binary} not built", file=sys.stderr)
+            return 1
+        measured = run_bench(binary, args.repeats)
+        for name, seed_ns in baselines.items():
+            if name not in measured:
+                print(f"warning: {bench}/{name} missing from output",
+                      file=sys.stderr)
+                continue
+            cur = measured[name]["ns"]
+            speedup = seed_ns / cur if cur else 0.0
+            result["benchmarks"][f"{bench}/{name}"] = {
+                "seed_ns": seed_ns,
+                "current_ns": round(cur, 1),
+                "seed_queries_per_sec": round(1e9 / seed_ns, 0),
+                "current_queries_per_sec": round(1e9 / cur, 0) if cur else 0.0,
+                "speedup": round(speedup, 2),
+            }
+            if worst is None or speedup < worst[1]:
+                worst = (f"{bench}/{name}", speedup)
+        if bench == "bench_explorer" and "BM_ExploreTwoThreads" in measured:
+            counters = measured["BM_ExploreTwoThreads"]["counters"]
+            cps = counters.get("configs", 0.0)
+            result["explorer"] = {
+                "seed_configs_per_sec": SEED_EXPLORER_CONFIGS_PER_SEC,
+                "current_configs_per_sec": round(cps, 0),
+                "speedup": round(cps / SEED_EXPLORER_CONFIGS_PER_SEC, 2)
+                if cps else 0.0,
+            }
+
+    pprun = os.path.join(args.build_dir, "tools", "pprun")
+    if os.path.exists(pprun):
+        result["cache_stats"] = run_stats_scenario(pprun)
+
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    width = max(len(n) for n in result["benchmarks"])
+    print(f"{'benchmark':<{width}}  {'seed ns':>10}  {'now ns':>10}  speedup")
+    for name, row in sorted(result["benchmarks"].items()):
+        print(f"{name:<{width}}  {row['seed_ns']:>10.0f}  "
+              f"{row['current_ns']:>10.0f}  {row['speedup']:>6.2f}x")
+    if result["explorer"]:
+        ex = result["explorer"]
+        print(f"explorer throughput: {ex['current_configs_per_sec']:.0f} "
+              f"configs/s vs seed {ex['seed_configs_per_sec']:.0f} "
+              f"({ex['speedup']:.2f}x)")
+    if "transition_memo_hit_rate" in result["cache_stats"]:
+        print("transition memo hit rate: "
+              f"{result['cache_stats']['transition_memo_hit_rate']:.1%}")
+    if worst:
+        print(f"slowest speedup: {worst[0]} at {worst[1]:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

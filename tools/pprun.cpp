@@ -11,6 +11,11 @@
 //   pprun --criteria <scenario-file>  also print the criteria audit (every
 //                                     applied rule with each Figure 5
 //                                     criterion's verdict)
+//   pprun --stats <scenario-file>     also print interning/memoization
+//                                     effectiveness counters
+//   pprun --threads N ...             worker threads for `check explore`
+//   pprun --max-pairs N ...           precongruence pair budget per query
+//   pprun --max-reachable N ...       reachable-state-set enumeration bound
 //
 // Exit status 0 iff the run finished and every check passed.
 //
@@ -19,6 +24,7 @@
 #include "sim/Scenario.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,7 +46,20 @@ check invariants
 int main(int argc, char **argv) {
   bool ShowTrace = false;
   bool ShowCriteria = false;
+  bool ShowStats = false;
+  long Threads = -1, MaxPairs = -1, MaxReachable = -1;
   const char *Path = nullptr;
+
+  auto NumArg = [&](int &I, const char *Flag, long &Out) {
+    if (std::strcmp(argv[I], Flag) != 0)
+      return false;
+    if (I + 1 >= argc || (Out = std::strtol(argv[++I], nullptr, 10)) <= 0) {
+      std::fprintf(stderr, "error: %s needs a positive integer\n", Flag);
+      std::exit(2);
+    }
+    return true;
+  };
+
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--example") == 0) {
       std::fputs(ExampleScenario, stdout);
@@ -54,11 +73,20 @@ int main(int argc, char **argv) {
       ShowCriteria = true;
       continue;
     }
+    if (std::strcmp(argv[I], "--stats") == 0) {
+      ShowStats = true;
+      continue;
+    }
+    if (NumArg(I, "--threads", Threads) || NumArg(I, "--max-pairs", MaxPairs) ||
+        NumArg(I, "--max-reachable", MaxReachable))
+      continue;
     Path = argv[I];
   }
   if (!Path) {
     std::fprintf(stderr,
-                 "usage: pprun [--trace] <scenario-file>\n"
+                 "usage: pprun [--trace] [--criteria] [--stats]\n"
+                 "             [--threads N] [--max-pairs N]"
+                 " [--max-reachable N] <scenario-file>\n"
                  "       pprun --example   (print a sample scenario)\n");
     return 2;
   }
@@ -78,7 +106,13 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  const Scenario &S = *PR.Parsed;
+  Scenario &S = *PR.Parsed;
+  if (Threads > 0)
+    S.ExplorerThreads = static_cast<unsigned>(Threads);
+  if (MaxPairs > 0)
+    S.Pre.MaxPairs = static_cast<size_t>(MaxPairs);
+  if (MaxReachable > 0)
+    S.Movers.MaxReachableSets = static_cast<size_t>(MaxReachable);
   std::printf("spec:     %s\n", S.Spec->name().c_str());
   std::printf("engine:   %s\n", S.Engine.c_str());
   std::printf("threads:  %zu\n", S.Threads.size());
@@ -92,6 +126,8 @@ int main(int argc, char **argv) {
   std::printf("\ncommitted log: %s\n", O.CommittedLog.c_str());
   for (const std::string &R : O.CheckResults)
     std::printf("%s\n", R.c_str());
+  if (ShowStats)
+    std::printf("\ncache stats:\n%s", O.Caches.toString().c_str());
   std::printf("\n%s\n", O.Ok ? "OK" : "FAILED");
   return O.Ok ? 0 : 1;
 }
