@@ -1,0 +1,11 @@
+# Boosting's classic deadlock: opposite lock orders on key-granular locks.
+# The loser aborts via inverse operations (UNPUSH) and local rewind (UNAPP).
+# Replay: ppfuzz --replay scenarios/regress/boosting.pp
+spec map name=map keys=4 vals=2
+engine boosting seed=1 keylocks=1 deadlock=3
+schedule roundrobin seed=1 maxsteps=30000
+thread tx { map.put(0, 1); map.put(1, 1) }
+thread tx { map.put(1, 1); map.put(0, 1) }
+check serializability
+check opacity
+check invariants

@@ -1,0 +1,12 @@
+# Minimal high-contention clinic for the irrevocable engine: opposite-order writers
+# plus a reader provoke conflict aborts and the inverse rules.
+# Replay: ppfuzz --replay scenarios/regress/irrevocable.pp
+spec map name=map keys=2 vals=2
+engine irrevocable seed=1 irrevocable=0
+schedule random seed=2 maxsteps=30000
+thread tx { map.put(0, 1); map.put(1, 1) }; tx { a := map.get(0) }
+thread tx { map.put(1, 1); map.put(0, 1) }; tx { b := map.get(1) }
+thread tx { c := map.get(0); map.put(0, 0) }
+check serializability
+check opacity
+check invariants

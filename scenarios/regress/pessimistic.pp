@@ -1,0 +1,12 @@
+# The pessimistic engine's commit-phase rollback: thread 1 pushes
+# write(2) (no reader), then write(0) is rejected by thread 0's live
+# uncommitted pushed read of register 0 - rolling write(2) back (UNPUSH).
+# Replay: ppfuzz --replay scenarios/regress/pessimistic.pp
+spec register name=register regs=3 vals=2
+engine pessimistic seed=1
+schedule roundrobin seed=1 maxsteps=30000
+thread tx { a := register.read(0); b := register.read(1); c := register.read(1) }
+thread tx { register.write(2, 1); register.write(0, 1) }
+check serializability
+check opacity
+check invariants

@@ -66,6 +66,11 @@ CriterionReport PushPullMachine::evalCriterion(const std::string &Name,
                                                Fn &&Thunk,
                                                const std::string &Detail)
     const {
+  if (!Config.DisabledCriterion.empty() && Name == Config.DisabledCriterion) {
+    // Fault injection for the fuzzer's self-test: pretend the criterion
+    // holds.  See MachineConfig::DisabledCriterion.
+    return criterion(Name, Tri::Yes, "disabled by test hook");
+  }
   if (Config.Level == ValidationLevel::Trusting) {
     // Trusting mode does not spend time on the semantic criteria; report
     // them as unchecked-but-accepted.
@@ -119,6 +124,10 @@ void PushPullMachine::recordEvent(TxId T, RuleKind K, const Operation *Op,
   }
   E.PulledUncommitted = PulledUncommitted;
   Trace.record(std::move(E));
+  // recordEvent runs after the rule's mutation is complete, so this is
+  // the "after every rule firing" point differential checkers hook.
+  if (Config.OnRuleApplied)
+    Config.OnRuleApplied(*this, K, T);
 }
 
 void PushPullMachine::checkInvariantsAfterStep(const char *Rule) {

@@ -45,10 +45,13 @@
 #include "core/Trace.h"
 #include "lang/StepFin.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace pushpull {
+
+class PushPullMachine;
 
 /// How strictly the machine checks each rule application.
 enum class ValidationLevel {
@@ -77,6 +80,19 @@ struct MachineConfig {
   /// verdicts) in an audit log — the machine-checked analogue of the
   /// paper's per-rule proof obligations.  Off by default (memory).
   bool KeepAudit = false;
+  /// Test-only fault injection: the criterion with exactly this
+  /// paper-style name (e.g. "PUSH criterion (ii)") is reported as passing
+  /// without being evaluated.  The differential fuzzer's shrinker test
+  /// plants a known bug here and checks the harness finds and minimizes
+  /// it.  Empty (no injection) in production.
+  std::string DisabledCriterion;
+  /// Observer invoked after every *applied* rule, once the configuration
+  /// mutation is complete.  The machine passed in is the one that fired
+  /// (copies carry the callback but pass themselves), so differential
+  /// checkers can re-validate invariants after every rule firing without
+  /// the hard-abort semantics of ValidationLevel::Full.
+  std::function<void(const PushPullMachine &M, RuleKind K, TxId T)>
+      OnRuleApplied;
 };
 
 /// One thread {c, sigma, L} plus its queued future transactions and the

@@ -1,0 +1,253 @@
+//===- fuzz/Generator.cpp - Differential fuzz-case generation ---------------===//
+
+#include "fuzz/Generator.h"
+
+#include "lang/Printer.h"
+#include "sim/Scenario.h"
+#include "sim/Workload.h"
+#include "spec/CompositeSpec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace pushpull;
+
+size_t FuzzCase::totalOps() const {
+  size_t N = 0;
+  // Count Call nodes structurally (mutated bodies may contain choices).
+  std::function<void(const CodePtr &)> Walk = [&](const CodePtr &C) {
+    switch (C->kind()) {
+    case CodeKind::Call:
+      ++N;
+      return;
+    case CodeKind::Seq:
+    case CodeKind::Choice:
+      Walk(C->lhs());
+      Walk(C->rhs());
+      return;
+    case CodeKind::Loop:
+    case CodeKind::Tx:
+      Walk(C->body());
+      return;
+    case CodeKind::Skip:
+      return;
+    }
+  };
+  for (const auto &Txs : Threads)
+    for (const CodePtr &T : Txs)
+      Walk(T);
+  return N;
+}
+
+size_t FuzzCase::totalTxs() const {
+  size_t N = 0;
+  for (const auto &Txs : Threads)
+    N += Txs.size();
+  return N;
+}
+
+std::string FuzzCase::toScenarioText() const {
+  std::string Out = "# ppfuzz case (replay with: ppfuzz --replay <file>)\n";
+  for (const SpecDesc &D : Specs) {
+    Out += "spec " + D.Kind;
+    for (const auto &[K, V] : D.Opts)
+      Out += " " + K + (V.empty() ? "" : "=" + V);
+    Out += "\n";
+  }
+  Out += "engine " + Engine;
+  for (const auto &[K, V] : EngineOpts)
+    Out += " " + K + (V.empty() ? "" : "=" + V);
+  Out += "\n";
+  const char *PolicyName = Policy == SchedulePolicy::RoundRobin ? "roundrobin"
+                           : Policy == SchedulePolicy::RandomUniform
+                               ? "random"
+                               : "pct";
+  Out += "schedule " + std::string(PolicyName) +
+         " seed=" + std::to_string(ScheduleSeed) +
+         " maxsteps=" + std::to_string(MaxSteps) +
+         " changepoints=" + std::to_string(ChangePoints) + "\n";
+  for (const auto &Txs : Threads) {
+    Out += "thread ";
+    for (size_t I = 0; I < Txs.size(); ++I) {
+      if (I)
+        Out += "; ";
+      Out += printCode(Txs[I]);
+    }
+    Out += "\n";
+  }
+  // The standard check battery, so reproducers also run under plain pprun.
+  Out += "check serializability\ncheck opacity\ncheck invariants\n";
+  return Out;
+}
+
+std::shared_ptr<const SequentialSpec>
+FuzzCase::buildSpec(std::string &Error) const {
+  if (Specs.empty()) {
+    Error = "fuzz case declares no spec";
+    return nullptr;
+  }
+  std::vector<std::pair<std::string, std::shared_ptr<const SequentialSpec>>>
+      Parts;
+  for (const SpecDesc &D : Specs) {
+    std::string Name;
+    auto Part = makeSpecPart(D.Kind, D.Opts, Name, Error);
+    if (!Part)
+      return nullptr;
+    for (const auto &[Existing, _] : Parts)
+      if (Existing == Name) {
+        Error = "duplicate spec name '" + Name + "'";
+        return nullptr;
+      }
+    Parts.push_back({Name, std::move(Part)});
+  }
+  if (Parts.size() == 1)
+    return Parts[0].second;
+  auto Composite = std::make_shared<CompositeSpec>();
+  for (auto &[Name, Part] : Parts)
+    Composite->add(Name, std::move(Part));
+  return Composite;
+}
+
+Generator::Generator(GeneratorConfig C) : Config(std::move(C)), R(Config.Seed) {
+  if (Config.Engines.empty())
+    Config.Engines = allEngineNames();
+  if (Config.SpecKinds.empty()) {
+    Config.SpecKinds = allSpecKinds();
+    Config.SpecKinds.push_back("composite");
+  }
+  if (Config.MaxThreads < 2)
+    Config.MaxThreads = 2;
+}
+
+SpecDesc Generator::makeSpecDesc(const std::string &Kind,
+                                 const std::string &Name) {
+  SpecDesc D;
+  D.Kind = Kind;
+  D.Opts["name"] = Name;
+  // Domains stay tiny: every run is cross-checked against the exact
+  // atomic oracle, whose search is exponential in domain and program size.
+  if (Kind == "register") {
+    D.Opts["regs"] = std::to_string(R.range(1, 3));
+    D.Opts["vals"] = std::to_string(R.range(2, 3));
+  } else if (Kind == "counter") {
+    D.Opts["counters"] = std::to_string(R.range(1, 2));
+    D.Opts["mod"] = std::to_string(R.range(4, 8));
+  } else if (Kind == "set") {
+    D.Opts["keys"] = std::to_string(R.range(2, 4));
+  } else if (Kind == "map") {
+    D.Opts["keys"] = std::to_string(R.range(2, 4));
+    D.Opts["vals"] = std::to_string(R.range(2, 3));
+  } else if (Kind == "queue") {
+    D.Opts["cap"] = std::to_string(R.range(2, 3));
+    D.Opts["vals"] = "2";
+  } else if (Kind == "bank") {
+    D.Opts["accounts"] = "2";
+    D.Opts["cap"] = std::to_string(R.range(3, 4));
+    D.Opts["initial"] = std::to_string(R.range(1, 2));
+  } else {
+    assert(false && "unknown spec kind in generator");
+  }
+  return D;
+}
+
+std::vector<std::vector<CodePtr>>
+Generator::makePrograms(const SpecDesc &Desc, unsigned Threads) {
+  std::string Name, Error;
+  auto Part = makeSpecPart(Desc.Kind, Desc.Opts, Name, Error);
+  assert(Part && "generator built an invalid spec descriptor");
+
+  WorkloadConfig WC;
+  WC.Threads = Threads;
+  WC.TxPerThread = static_cast<unsigned>(R.range(1, Config.MaxTxPerThread));
+  WC.OpsPerTx = static_cast<unsigned>(R.range(1, Config.MaxOpsPerTx));
+  WC.KeyRange = static_cast<unsigned>(R.range(1, 3));
+  WC.ZipfTheta = R.chance(1, 2) ? 100 : 0; // Hot-key contention half the time.
+  WC.ReadPct = static_cast<unsigned>(R.range(20, 80));
+  WC.Seed = R.next();
+
+  if (const auto *S = dynamic_cast<const MapSpec *>(Part.get()))
+    return genMapWorkload(*S, WC);
+  if (const auto *S = dynamic_cast<const RegisterSpec *>(Part.get()))
+    return genRegisterWorkload(*S, WC);
+  if (const auto *S = dynamic_cast<const SetSpec *>(Part.get()))
+    return genSetWorkload(*S, WC);
+  if (const auto *S = dynamic_cast<const CounterSpec *>(Part.get()))
+    return genCounterWorkload(*S, WC);
+  if (const auto *S = dynamic_cast<const QueueSpec *>(Part.get()))
+    return genQueueWorkload(*S, WC);
+  if (const auto *S = dynamic_cast<const BankSpec *>(Part.get()))
+    return genBankWorkload(*S, WC);
+  assert(false && "no workload mix for spec kind");
+  return {};
+}
+
+FuzzCase Generator::next() {
+  // Engine and spec kind cycle with the case index: a campaign of
+  // Engines*Kinds runs visits every (engine, kind) pair exactly once.
+  const std::string &Engine = Config.Engines[Count % Config.Engines.size()];
+  const std::string &Kind =
+      Config.SpecKinds[(Count / Config.Engines.size()) %
+                       Config.SpecKinds.size()];
+  ++Count;
+
+  FuzzCase Case;
+  Case.Engine = Engine;
+  unsigned Threads = static_cast<unsigned>(R.range(2, Config.MaxThreads));
+
+  if (Kind == "composite") {
+    // A two-part mix of distinct primitive kinds (the Section 7 shape).
+    const std::vector<std::string> &Prim = allSpecKinds();
+    size_t A = R.below(Prim.size());
+    size_t B = (A + 1 + R.below(Prim.size() - 1)) % Prim.size();
+    Case.Specs.push_back(makeSpecDesc(Prim[A], Prim[A]));
+    Case.Specs.push_back(makeSpecDesc(Prim[B], Prim[B]));
+  } else {
+    Case.Specs.push_back(makeSpecDesc(Kind, Kind));
+  }
+
+  // Per-part programs via the workload mixes, merged per thread so
+  // composite transactions from both parts interleave in program order.
+  Case.Threads.assign(Threads, {});
+  for (const SpecDesc &D : Case.Specs) {
+    std::vector<std::vector<CodePtr>> P = makePrograms(D, Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      for (CodePtr &Tx : P[T])
+        Case.Threads[T].push_back(std::move(Tx));
+  }
+
+  // Engine options: a seed always; algorithm-specific knobs sometimes.
+  Case.EngineOpts["seed"] = std::to_string(R.next() % 100000);
+  if (Engine == "checkpoint")
+    Case.EngineOpts["every"] = std::to_string(R.range(1, 3));
+  if (Engine == "boosting" || Engine == "hybrid") {
+    if (R.chance(1, 2))
+      Case.EngineOpts["keylocks"] = R.chance(1, 2) ? "1" : "0";
+  }
+  if (Engine == "dependent")
+    Case.EngineOpts["abortpct"] = std::to_string(R.range(0, 25));
+  if (Engine == "irrevocable")
+    Case.EngineOpts["irrevocable"] =
+        std::to_string(R.below(Threads));
+  if (Engine == "hybrid") {
+    Case.EngineOpts["conflictpct"] = std::to_string(R.range(0, 25));
+    if (R.chance(1, 2))
+      Case.EngineOpts["htm"] = Case.Specs[0].Opts.at("name");
+  }
+
+  switch (R.below(3)) {
+  case 0:
+    Case.Policy = SchedulePolicy::RandomUniform;
+    break;
+  case 1:
+    Case.Policy = SchedulePolicy::RoundRobin;
+    break;
+  default:
+    Case.Policy = SchedulePolicy::PriorityChangePoints;
+    break;
+  }
+  Case.ScheduleSeed = R.next() % 1000000;
+  Case.MaxSteps = 30000;
+  Case.ChangePoints = static_cast<unsigned>(R.range(2, 4));
+  return Case;
+}

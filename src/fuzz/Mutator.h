@@ -1,0 +1,65 @@
+//===- fuzz/Mutator.h - Structural program mutation -------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural mutation of FuzzCases: beyond the workload generators'
+/// straight-line mixes, mutation drops/duplicates/swaps operations,
+/// perturbs literal arguments, clones transactions across threads (the
+/// conflict amplifier), wraps operations in nondeterministic choice, and
+/// reseeds the schedule and engine.  A campaign interleaves fresh
+/// generation with mutation of previously-run cases, the classic
+/// coverage-widening move of differential fuzzers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_FUZZ_MUTATOR_H
+#define PUSHPULL_FUZZ_MUTATOR_H
+
+#include "fuzz/Generator.h"
+#include "support/Rng.h"
+
+namespace pushpull {
+
+/// Mutation knobs.
+struct MutatorConfig {
+  /// Mutations applied per call to mutate() are drawn from
+  /// [1, MaxMutations].
+  unsigned MaxMutations = 3;
+};
+
+/// Applies random structural mutations to a case (input untouched).
+class Mutator {
+public:
+  explicit Mutator(MutatorConfig Config = {}) : Config(Config) {}
+
+  /// A mutated copy of \p Case.  Never produces a case without threads,
+  /// transactions, or operations.
+  FuzzCase mutate(const FuzzCase &Case, Rng &R) const;
+
+private:
+  /// Apply one random mutation in place; false if the chosen mutation was
+  /// not applicable (caller retries with another draw).
+  bool mutateOnce(FuzzCase &Case, Rng &R) const;
+
+  MutatorConfig Config;
+};
+
+/// Decompose a straight-line transaction body (Seq/Call/Skip tree) into
+/// its call nodes.  Empty optional when the body contains choice/loop
+/// structure.  Shared with the shrinker.
+std::optional<std::vector<CodePtr>> straightLineOps(const CodePtr &TxNode);
+
+/// Rebuild a Tx node from a call list (skip body when empty).
+CodePtr txFromOps(const std::vector<CodePtr> &Ops);
+
+/// Clamp engine options that name thread ids (irrevocable=N) back into
+/// range after threads were dropped by mutation or shrinking.
+void normalizeThreadRefs(FuzzCase &Case);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_FUZZ_MUTATOR_H

@@ -1,0 +1,210 @@
+//===- fuzz/Shrinker.cpp - Counterexample minimization ----------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "fuzz/Mutator.h"
+
+using namespace pushpull;
+
+namespace {
+
+/// Replace the \p Nth Choice node (pre-order) with one of its branches.
+/// \p Nth counts down in place; returns null when the tree has fewer
+/// choices than requested.
+CodePtr replaceChoice(const CodePtr &C, size_t &Nth, bool TakeLhs) {
+  switch (C->kind()) {
+  case CodeKind::Choice: {
+    if (Nth == 0)
+      return TakeLhs ? C->lhs() : C->rhs();
+    --Nth;
+    if (CodePtr L = replaceChoice(C->lhs(), Nth, TakeLhs))
+      return Code::makeChoice(L, C->rhs());
+    if (CodePtr R = replaceChoice(C->rhs(), Nth, TakeLhs))
+      return Code::makeChoice(C->lhs(), R);
+    return nullptr;
+  }
+  case CodeKind::Seq:
+    if (CodePtr L = replaceChoice(C->lhs(), Nth, TakeLhs))
+      return Code::makeSeq(L, C->rhs());
+    if (CodePtr R = replaceChoice(C->rhs(), Nth, TakeLhs))
+      return Code::makeSeq(C->lhs(), R);
+    return nullptr;
+  case CodeKind::Tx:
+    if (CodePtr B = replaceChoice(C->body(), Nth, TakeLhs))
+      return Code::makeTx(B);
+    return nullptr;
+  case CodeKind::Loop:
+    if (CodePtr B = replaceChoice(C->body(), Nth, TakeLhs))
+      return Code::makeLoop(B);
+    return nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+size_t countChoices(const CodePtr &C) {
+  switch (C->kind()) {
+  case CodeKind::Choice:
+    return 1 + countChoices(C->lhs()) + countChoices(C->rhs());
+  case CodeKind::Seq:
+    return countChoices(C->lhs()) + countChoices(C->rhs());
+  case CodeKind::Tx:
+  case CodeKind::Loop:
+    return countChoices(C->body());
+  default:
+    return 0;
+  }
+}
+
+void pruneEmptyThreads(FuzzCase &Case) {
+  for (size_t T = Case.Threads.size(); T-- > 0;)
+    if (Case.Threads[T].empty() && Case.Threads.size() > 1)
+      Case.Threads.erase(Case.Threads.begin() + T);
+  normalizeThreadRefs(Case);
+}
+
+} // namespace
+
+ShrinkOutcome Shrinker::shrink(const FuzzCase &Case) const {
+  ShrinkOutcome Out;
+  Out.Minimized = Case;
+  uint64_t Runs = 0;
+
+  // "Still fails" — a pure predicate, since runs are seed-deterministic.
+  auto Fails = [&](const FuzzCase &C, DiffReport &Save) {
+    if (Runs >= Config.MaxRuns)
+      return false;
+    ++Runs;
+    DiffReport R = Runner.run(C);
+    if (!R.discrepancy())
+      return false;
+    Save = std::move(R);
+    return true;
+  };
+  // Try a candidate; on surviving failure adopt it as the new minimum.
+  auto Accept = [&](FuzzCase &&Cand) {
+    DiffReport R;
+    if (!Fails(Cand, R))
+      return false;
+    Out.Minimized = std::move(Cand);
+    Out.FinalReport = std::move(R);
+    return true;
+  };
+
+  if (!Fails(Out.Minimized, Out.FinalReport)) {
+    Out.RunsUsed = Runs;
+    return Out; // Flaky or fixed: nothing to shrink.
+  }
+  Out.Reproduced = true;
+
+  // Greedy fixpoint: run every pass until a whole sweep makes no progress.
+  // Each pass is itself run to saturation, smallest-granularity last.
+  bool Progress = true;
+  while (Progress && Runs < Config.MaxRuns) {
+    Progress = false;
+
+    // Pass 1: drop whole threads.
+    for (size_t T = 0; T < Out.Minimized.Threads.size();) {
+      if (Out.Minimized.Threads.size() <= 1)
+        break;
+      FuzzCase Cand = Out.Minimized;
+      Cand.Threads.erase(Cand.Threads.begin() + T);
+      normalizeThreadRefs(Cand);
+      if (Accept(std::move(Cand)))
+        Progress = true; // Same index now names the next thread.
+      else
+        ++T;
+    }
+
+    // Pass 2: drop whole transactions.
+    for (size_t T = 0; T < Out.Minimized.Threads.size(); ++T)
+      for (size_t X = 0; X < Out.Minimized.Threads[T].size();) {
+        if (Out.Minimized.totalTxs() <= 1)
+          break;
+        FuzzCase Cand = Out.Minimized;
+        Cand.Threads[T].erase(Cand.Threads[T].begin() + X);
+        pruneEmptyThreads(Cand);
+        if (Accept(std::move(Cand)))
+          Progress = true;
+        else
+          ++X;
+      }
+
+    // Pass 3: resolve nondeterministic choices to a single branch (these
+    // come from the (op + skip) mutation; a resolved body exposes its
+    // operations to pass 4).
+    for (size_t T = 0; T < Out.Minimized.Threads.size(); ++T)
+      for (size_t X = 0; X < Out.Minimized.Threads[T].size(); ++X)
+        for (size_t N = countChoices(Out.Minimized.Threads[T][X]); N-- > 0;)
+          for (bool TakeLhs : {false, true}) { // Prefer the skip branch.
+            size_t Nth = N;
+            CodePtr B =
+                replaceChoice(Out.Minimized.Threads[T][X], Nth, TakeLhs);
+            if (!B)
+              continue;
+            FuzzCase Cand = Out.Minimized;
+            Cand.Threads[T][X] = B;
+            if (Accept(std::move(Cand))) {
+              Progress = true;
+              break;
+            }
+          }
+
+    // Pass 4: drop single operations.
+    for (size_t T = 0; T < Out.Minimized.Threads.size(); ++T)
+      for (size_t X = 0; X < Out.Minimized.Threads[T].size(); ++X) {
+        auto Ops = straightLineOps(Out.Minimized.Threads[T][X]);
+        if (!Ops)
+          continue;
+        for (size_t I = 0; I < Ops->size();) {
+          if (Ops->size() <= 1)
+            break; // Dropping the last op is pass 2's job.
+          std::vector<CodePtr> Fewer = *Ops;
+          Fewer.erase(Fewer.begin() + I);
+          FuzzCase Cand = Out.Minimized;
+          Cand.Threads[T][X] = txFromOps(Fewer);
+          if (Accept(std::move(Cand))) {
+            *Ops = std::move(Fewer);
+            Progress = true;
+          } else {
+            ++I;
+          }
+        }
+      }
+
+    // Pass 5: shrink literal arguments toward zero (0, then halves).
+    for (size_t T = 0; T < Out.Minimized.Threads.size(); ++T)
+      for (size_t X = 0; X < Out.Minimized.Threads[T].size(); ++X) {
+        auto Ops = straightLineOps(Out.Minimized.Threads[T][X]);
+        if (!Ops)
+          continue;
+        for (size_t I = 0; I < Ops->size(); ++I) {
+          MethodExpr M = (*Ops)[I]->call();
+          for (size_t A = 0; A < M.Args.size(); ++A) {
+            if (!std::holds_alternative<Value>(M.Args[A]))
+              continue;
+            Value V = std::get<Value>(M.Args[A]);
+            for (Value Smaller : {Value(0), V / 2}) {
+              if (Smaller >= V || Smaller == std::get<Value>(M.Args[A]))
+                continue;
+              MethodExpr M2 = M;
+              M2.Args[A] = Smaller;
+              std::vector<CodePtr> Alt = *Ops;
+              Alt[I] = Code::makeCall(M2);
+              FuzzCase Cand = Out.Minimized;
+              Cand.Threads[T][X] = txFromOps(Alt);
+              if (Accept(std::move(Cand))) {
+                *Ops = std::move(Alt);
+                M = M2;
+                Progress = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+  }
+
+  Out.RunsUsed = Runs;
+  return Out;
+}

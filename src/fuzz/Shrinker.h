@@ -1,0 +1,61 @@
+//===- fuzz/Shrinker.h - Counterexample minimization ------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging over FuzzCases: given a case whose differential run
+/// shows a discrepancy, greedily remove structure — whole threads, whole
+/// transactions, single operations — and shrink literal arguments toward
+/// zero, keeping a candidate only if the discrepancy survives, until a
+/// fixpoint.  Runs are seed-deterministic, so "still fails" is a pure
+/// predicate and the result is a smallest-by-construction reproducer
+/// (1-minimal: removing any single remaining piece makes the failure
+/// vanish), ready to serialize under scenarios/regress/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_FUZZ_SHRINKER_H
+#define PUSHPULL_FUZZ_SHRINKER_H
+
+#include "fuzz/DiffRunner.h"
+
+namespace pushpull {
+
+/// Shrinking knobs.
+struct ShrinkConfig {
+  /// Total differential runs the shrinker may spend.
+  uint64_t MaxRuns = 3000;
+};
+
+/// Result of a shrink.
+struct ShrinkOutcome {
+  /// The 1-minimal failing case (the original if it never reproduced).
+  FuzzCase Minimized;
+  /// The differential report of the minimized case.
+  DiffReport FinalReport;
+  /// True iff the input case's discrepancy reproduced at all.
+  bool Reproduced = false;
+  uint64_t RunsUsed = 0;
+};
+
+/// Greedy ddmin-style minimizer driven by a DiffRunner.
+class Shrinker {
+public:
+  Shrinker(const DiffRunner &Runner, ShrinkConfig Config = {})
+      : Runner(Runner), Config(Config) {}
+
+  /// Minimize \p Case, whose run under the runner is expected to show a
+  /// discrepancy.
+  ShrinkOutcome shrink(const FuzzCase &Case) const;
+
+private:
+  const DiffRunner &Runner;
+  ShrinkConfig Config;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_FUZZ_SHRINKER_H

@@ -71,11 +71,29 @@ std::string strOr(const std::map<std::string, std::string> &Opts,
   return It == Opts.end() ? Default : It->second;
 }
 
-/// Build one spec part from a `spec` directive.
+void collectTxs(const CodePtr &C, std::vector<CodePtr> &Out, bool &Bad) {
+  switch (C->kind()) {
+  case CodeKind::Tx:
+    Out.push_back(C);
+    return;
+  case CodeKind::Seq:
+    collectTxs(C->lhs(), Out, Bad);
+    collectTxs(C->rhs(), Out, Bad);
+    return;
+  case CodeKind::Skip:
+    return;
+  default:
+    Bad = true;
+    return;
+  }
+}
+
+} // namespace
+
 std::shared_ptr<const SequentialSpec>
-buildSpecPart(const std::string &Kind,
-              const std::map<std::string, std::string> &Opts,
-              std::string &Name, std::string &Error) {
+pushpull::makeSpecPart(const std::string &Kind,
+                       const std::map<std::string, std::string> &Opts,
+                       std::string &Name, std::string &Error) {
   Name = strOr(Opts, "name", Kind);
   if (Kind == "register")
     return std::make_shared<RegisterSpec>(
@@ -105,24 +123,82 @@ buildSpecPart(const std::string &Kind,
   return nullptr;
 }
 
-void collectTxs(const CodePtr &C, std::vector<CodePtr> &Out, bool &Bad) {
-  switch (C->kind()) {
-  case CodeKind::Tx:
-    Out.push_back(C);
-    return;
-  case CodeKind::Seq:
-    collectTxs(C->lhs(), Out, Bad);
-    collectTxs(C->rhs(), Out, Bad);
-    return;
-  case CodeKind::Skip:
-    return;
-  default:
-    Bad = true;
-    return;
+std::unique_ptr<TMEngine>
+pushpull::makeEngine(const std::string &Name,
+                     const std::map<std::string, std::string> &Opts,
+                     PushPullMachine &M, std::string &Error) {
+  uint64_t Seed = std::stoull(
+      Opts.count("seed") && !Opts.at("seed").empty() ? Opts.at("seed") : "1");
+
+  if (Name == "optimistic")
+    return std::make_unique<OptimisticTM>(M, OptimisticConfig{Seed});
+  if (Name == "checkpoint") {
+    CheckpointConfig C;
+    C.Seed = Seed;
+    C.CheckpointEvery = static_cast<unsigned>(numOr(Opts, "every", 2));
+    return std::make_unique<CheckpointTM>(M, C);
   }
+  if (Name == "boosting") {
+    BoostingConfig C;
+    C.Seed = Seed;
+    C.DeadlockThreshold =
+        static_cast<unsigned>(numOr(Opts, "deadlock", 8));
+    C.KeyGranularLocks = numOr(Opts, "keylocks", 1) != 0;
+    return std::make_unique<BoostingTM>(M, C);
+  }
+  if (Name == "pessimistic") {
+    PessimisticConfig C;
+    C.Seed = Seed;
+    return std::make_unique<PessimisticCommitTM>(M, std::move(C));
+  }
+  if (Name == "irrevocable") {
+    IrrevocableConfig C;
+    C.Seed = Seed;
+    C.IrrevocableThread =
+        static_cast<TxId>(numOr(Opts, "irrevocable", 0));
+    return std::make_unique<IrrevocableTM>(M, C);
+  }
+  if (Name == "dependent") {
+    DependentConfig C;
+    C.Seed = Seed;
+    C.AbortChancePct =
+        static_cast<unsigned>(numOr(Opts, "abortpct", 0));
+    return std::make_unique<DependentTM>(M, C);
+  }
+  if (Name == "early-release")
+    return std::make_unique<EarlyReleaseTM>(M, EarlyReleaseConfig{Seed});
+  if (Name == "htm" || Name == "htm-word") {
+    HtmConfig C;
+    C.Seed = Seed;
+    C.WordGranularity = Name == "htm-word";
+    return std::make_unique<HtmTM>(M, C);
+  }
+  if (Name == "hybrid") {
+    HybridConfig C;
+    C.Seed = Seed;
+    C.ConflictChancePct =
+        static_cast<unsigned>(numOr(Opts, "conflictpct", 0));
+    for (const std::string &Obj : splitOn(strOr(Opts, "htm", ""), ','))
+      if (!Obj.empty())
+        C.HtmObjects.insert(Obj);
+    return std::make_unique<HybridHtmBoostingTM>(M, std::move(C));
+  }
+  Error = "unknown engine '" + Name + "'";
+  return nullptr;
 }
 
-} // namespace
+const std::vector<std::string> &pushpull::allEngineNames() {
+  static const std::vector<std::string> Names = {
+      "optimistic", "checkpoint", "boosting",      "pessimistic", "irrevocable",
+      "dependent",  "early-release", "htm",        "htm-word",    "hybrid"};
+  return Names;
+}
+
+const std::vector<std::string> &pushpull::allSpecKinds() {
+  static const std::vector<std::string> Kinds = {
+      "register", "counter", "set", "map", "queue", "bank"};
+  return Kinds;
+}
 
 std::vector<CodePtr> pushpull::flattenTransactions(const CodePtr &C,
                                                    std::string &Error) {
@@ -166,7 +242,7 @@ ScenarioParseResult pushpull::parseScenario(const std::string &Text) {
       if (Ws.size() < 2)
         return Fail(N + 1, "spec needs a kind");
       std::string Name, Error;
-      auto Part = buildSpecPart(Ws[1], options(Ws, 2), Name, Error);
+      auto Part = makeSpecPart(Ws[1], options(Ws, 2), Name, Error);
       if (!Part)
         return Fail(N + 1, Error);
       for (const auto &[ExistingName, _] : Parts)
@@ -248,62 +324,11 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   for (const auto &P : S.Threads)
     M.addThread(P);
 
-  uint64_t Seed = std::stoull(
-      S.EngineOpts.count("seed") && !S.EngineOpts.at("seed").empty()
-          ? S.EngineOpts.at("seed")
-          : "1");
-
-  std::unique_ptr<TMEngine> Engine;
-  if (S.Engine == "optimistic") {
-    Engine = std::make_unique<OptimisticTM>(M, OptimisticConfig{Seed});
-  } else if (S.Engine == "checkpoint") {
-    CheckpointConfig C;
-    C.Seed = Seed;
-    C.CheckpointEvery =
-        static_cast<unsigned>(numOr(S.EngineOpts, "every", 2));
-    Engine = std::make_unique<CheckpointTM>(M, C);
-  } else if (S.Engine == "boosting") {
-    BoostingConfig C;
-    C.Seed = Seed;
-    C.DeadlockThreshold =
-        static_cast<unsigned>(numOr(S.EngineOpts, "deadlock", 8));
-    C.KeyGranularLocks = numOr(S.EngineOpts, "keylocks", 1) != 0;
-    Engine = std::make_unique<BoostingTM>(M, C);
-  } else if (S.Engine == "pessimistic") {
-    PessimisticConfig C;
-    C.Seed = Seed;
-    Engine = std::make_unique<PessimisticCommitTM>(M, std::move(C));
-  } else if (S.Engine == "irrevocable") {
-    IrrevocableConfig C;
-    C.Seed = Seed;
-    C.IrrevocableThread =
-        static_cast<TxId>(numOr(S.EngineOpts, "irrevocable", 0));
-    Engine = std::make_unique<IrrevocableTM>(M, C);
-  } else if (S.Engine == "dependent") {
-    DependentConfig C;
-    C.Seed = Seed;
-    C.AbortChancePct =
-        static_cast<unsigned>(numOr(S.EngineOpts, "abortpct", 0));
-    Engine = std::make_unique<DependentTM>(M, C);
-  } else if (S.Engine == "early-release") {
-    Engine = std::make_unique<EarlyReleaseTM>(M, EarlyReleaseConfig{Seed});
-  } else if (S.Engine == "htm" || S.Engine == "htm-word") {
-    HtmConfig C;
-    C.Seed = Seed;
-    C.WordGranularity = S.Engine == "htm-word";
-    Engine = std::make_unique<HtmTM>(M, C);
-  } else if (S.Engine == "hybrid") {
-    HybridConfig C;
-    C.Seed = Seed;
-    C.ConflictChancePct =
-        static_cast<unsigned>(numOr(S.EngineOpts, "conflictpct", 0));
-    for (const std::string &Obj :
-         splitOn(strOr(S.EngineOpts, "htm", ""), ','))
-      if (!Obj.empty())
-        C.HtmObjects.insert(Obj);
-    Engine = std::make_unique<HybridHtmBoostingTM>(M, std::move(C));
-  } else {
-    Out.CheckResults.push_back("error: unknown engine '" + S.Engine + "'");
+  std::string EngineError;
+  std::unique_ptr<TMEngine> Engine =
+      makeEngine(S.Engine, S.EngineOpts, M, EngineError);
+  if (!Engine) {
+    Out.CheckResults.push_back("error: " + EngineError);
     return Out;
   }
 

@@ -82,6 +82,33 @@ struct ScenarioParseResult {
 /// Parse the scenario text format.  Never throws.
 ScenarioParseResult parseScenario(const std::string &Text);
 
+/// Build one spec part from a scenario-style kind ("register", "counter",
+/// "set", "map", "queue", "bank") and key=value options.  \p Name receives
+/// the part's object name (the "name" option, defaulting to the kind).
+/// Returns nullptr and sets \p Error for an unknown kind.  Shared by the
+/// scenario parser and the fuzzer's case builder.
+std::shared_ptr<const SequentialSpec>
+makeSpecPart(const std::string &Kind,
+             const std::map<std::string, std::string> &Opts,
+             std::string &Name, std::string &Error);
+
+/// Build a TM engine by scenario name ("optimistic", "checkpoint",
+/// "boosting", "pessimistic", "irrevocable", "dependent", "early-release",
+/// "htm", "htm-word", "hybrid") over \p M, honouring the engine's
+/// key=value options.  Returns nullptr and sets \p Error for an unknown
+/// name.  Shared by runScenario and the fuzzer's DiffRunner.
+std::unique_ptr<TMEngine>
+makeEngine(const std::string &Name,
+           const std::map<std::string, std::string> &Opts,
+           PushPullMachine &M, std::string &Error);
+
+/// The ten scenario engine names, in canonical order.
+const std::vector<std::string> &allEngineNames();
+
+/// The six primitive spec kinds, in canonical order ("composite" mixes
+/// are built from several parts).
+const std::vector<std::string> &allSpecKinds();
+
 /// Split a thread program `tx {..}; tx {..}; ...` into its transaction
 /// list.  Returns empty (and sets Error) if a method occurs outside a
 /// transaction (the paper's well-formedness condition).

@@ -89,6 +89,25 @@ ThreadPrograms pushpull::genCounterWorkload(const CounterSpec &Spec,
   });
 }
 
+ThreadPrograms pushpull::genBankWorkload(const BankSpec &Spec,
+                                         const WorkloadConfig &C) {
+  return generate(C, [&](Rng &R, unsigned, unsigned X, unsigned O) {
+    Value A = pickKey(R, C, Spec.numAccounts());
+    if (R.chance(C.ReadPct, 100))
+      return call(Spec.object(), "balance", {A}, resultVar(X, O));
+    Value K = R.range(1, std::max(1u, Spec.cap() / 2));
+    if (Spec.numAccounts() > 1 && R.chance(1, 4)) {
+      Value B = pickKey(R, C, Spec.numAccounts());
+      if (B == A)
+        B = (B + 1) % Spec.numAccounts();
+      return call(Spec.object(), "transfer", {A, B, K}, resultVar(X, O));
+    }
+    if (R.chance(1, 2))
+      return call(Spec.object(), "deposit", {A, K});
+    return call(Spec.object(), "withdraw", {A, K}, resultVar(X, O));
+  });
+}
+
 ThreadPrograms pushpull::genQueueWorkload(const QueueSpec &Spec,
                                           const WorkloadConfig &C) {
   return generate(C, [&](Rng &R, unsigned, unsigned X, unsigned O) {

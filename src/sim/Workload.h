@@ -16,6 +16,7 @@
 #define PUSHPULL_SIM_WORKLOAD_H
 
 #include "lang/Ast.h"
+#include "spec/BankSpec.h"
 #include "spec/CounterSpec.h"
 #include "spec/MapSpec.h"
 #include "spec/QueueSpec.h"
@@ -64,6 +65,11 @@ ThreadPrograms genCounterWorkload(const CounterSpec &Spec,
 /// enq/deq mixes over the queue (the non-commutative stressor).
 ThreadPrograms genQueueWorkload(const QueueSpec &Spec,
                                 const WorkloadConfig &C);
+
+/// deposit/withdraw/balance/transfer mixes over bank accounts (the
+/// conditional-commutativity stressor; ReadPct governs balance reads).
+ThreadPrograms genBankWorkload(const BankSpec &Spec,
+                               const WorkloadConfig &C);
 
 } // namespace pushpull
 

@@ -103,6 +103,7 @@ StepStatus BoostingTM::step(TxId T) {
   if (Choices.empty())
     return abortSelf(T); // Program stuck under current view.
   const AppChoice &C = Choices[Per[T].R.below(Choices.size())];
+  const size_t ChosenStep = C.StepIdx; // C dangles once Choices is refreshed.
 
   auto Call = C.Item.Call.resolve(Th.Sigma);
   assert(Call && "appChoices returned an unresolvable call");
@@ -123,7 +124,7 @@ StepStatus BoostingTM::step(TxId T) {
   Choices = M->appChoices(T);
   size_t Which = Choices.size();
   for (size_t I = 0; I < Choices.size(); ++I)
-    if (Choices[I].StepIdx == C.StepIdx) {
+    if (Choices[I].StepIdx == ChosenStep) {
       Which = I;
       break;
     }

@@ -1,0 +1,122 @@
+//===- tests/scheduler_test.cpp - Scheduler determinism and budgets -----------===//
+//
+// The properties the fuzzer leans on: a (policy, seed) pair fully
+// determines the interleaving — for every engine, not just the optimistic
+// one — and the step budget cleanly terminates an engine that never makes
+// progress, leaving an honest stats report instead of a hang.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Scheduler.h"
+
+#include "lang/Parser.h"
+#include "sim/Scenario.h"
+#include "spec/MapSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace pushpull;
+
+namespace {
+
+/// One deterministic run: the high-contention two-writers-one-reader
+/// program under the given engine, policy, and seed.  Returns the full
+/// trace rendering plus the stats line — equal strings mean the runs were
+/// step-for-step identical.
+std::string runOnce(const std::string &Engine, SchedulePolicy Policy,
+                    uint64_t Seed) {
+  MapSpec Spec("map", 2, 2);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  M.addThread({parseOrDie("tx { map.put(0, 1); map.put(1, 1) }")});
+  M.addThread({parseOrDie("tx { map.put(1, 1); map.put(0, 1) }")});
+  M.addThread({parseOrDie("tx { a := map.get(0) }")});
+  std::string Error;
+  std::map<std::string, std::string> Opts = {{"seed", "1"}};
+  std::unique_ptr<TMEngine> E = makeEngine(Engine, Opts, M, Error);
+  EXPECT_TRUE(E) << Engine << ": " << Error;
+  if (!E)
+    return "<build error>";
+  SchedulerConfig SC;
+  SC.Policy = Policy;
+  SC.Seed = Seed;
+  SC.MaxSteps = 30000;
+  RunStats St = Scheduler(SC).run(*E);
+  return M.trace().toString() + "\n" + St.toString();
+}
+
+/// An engine that can never advance any thread: every step reports
+/// Blocked and the machine stays exactly where it started.
+class StuckEngine : public TMEngine {
+public:
+  using TMEngine::TMEngine;
+  std::string name() const override { return "stuck"; }
+  StepStatus step(TxId) override { return StepStatus::Blocked; }
+};
+
+} // namespace
+
+TEST(Scheduler, EqualSeedsReplayIdenticallyForEveryEngine) {
+  for (const std::string &Engine : allEngineNames())
+    for (SchedulePolicy P :
+         {SchedulePolicy::RoundRobin, SchedulePolicy::RandomUniform,
+          SchedulePolicy::PriorityChangePoints})
+      EXPECT_EQ(runOnce(Engine, P, 2), runOnce(Engine, P, 2))
+          << Engine << " policy " << static_cast<int>(P);
+}
+
+TEST(Scheduler, DifferentSeedsChangeTheRandomInterleaving) {
+  // Seeds 2 and 3 produce different traces for the contended program (a
+  // pinned empirical fact; any seed pair that collided here would also
+  // weaken the fuzzer's schedule exploration).
+  EXPECT_NE(runOnce("optimistic", SchedulePolicy::RandomUniform, 2),
+            runOnce("optimistic", SchedulePolicy::RandomUniform, 3));
+  // Round-robin ignores the seed entirely.
+  EXPECT_EQ(runOnce("optimistic", SchedulePolicy::RoundRobin, 2),
+            runOnce("optimistic", SchedulePolicy::RoundRobin, 3));
+}
+
+TEST(Scheduler, StepBudgetTerminatesALivelockingEngine) {
+  MapSpec Spec("map", 2, 2);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  M.addThread({parseOrDie("tx { map.put(0, 1) }")});
+  M.addThread({parseOrDie("tx { a := map.get(0) }")});
+  StuckEngine E(M);
+
+  SchedulerConfig SC;
+  SC.Policy = SchedulePolicy::RandomUniform;
+  SC.Seed = 1;
+  SC.MaxSteps = 500;
+  RunStats St = Scheduler(SC).run(E);
+
+  // The run ends at the budget, not in a hang, and the report is honest:
+  // all steps blocked, nothing committed, not quiescent.
+  EXPECT_EQ(St.SchedulerSteps, 500u);
+  EXPECT_EQ(St.BlockedSteps, 500u);
+  EXPECT_EQ(St.Commits, 0u);
+  EXPECT_EQ(St.CommittedOps, 0u);
+  EXPECT_FALSE(St.Quiescent);
+  EXPECT_NE(St.toString().find("steps=500 blocked=500"), std::string::npos)
+      << St.toString();
+}
+
+TEST(Scheduler, PriorityChangePointsRespectsTheBudgetUnderLivelock) {
+  // The PCT policy drops a blocked thread's priority every step; the drop
+  // counter must not wrap or wedge over a long all-blocked run.
+  MapSpec Spec("map", 2, 2);
+  MoverChecker Movers(Spec);
+  PushPullMachine M(Spec, Movers);
+  M.addThread({parseOrDie("tx { map.put(0, 1) }")});
+  M.addThread({parseOrDie("tx { a := map.get(0) }")});
+  StuckEngine E(M);
+
+  SchedulerConfig SC;
+  SC.Policy = SchedulePolicy::PriorityChangePoints;
+  SC.Seed = 7;
+  SC.MaxSteps = 2000;
+  RunStats St = Scheduler(SC).run(E);
+  EXPECT_EQ(St.SchedulerSteps, 2000u);
+  EXPECT_EQ(St.BlockedSteps, 2000u);
+  EXPECT_FALSE(St.Quiescent);
+}
