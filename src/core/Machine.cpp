@@ -587,7 +587,7 @@ RuleResult PushPullMachine::commit(TxId T) {
   return Out;
 }
 
-std::string PushPullMachine::configKey() const {
+std::string PushPullMachine::configKey(const std::vector<TxId> *LabelOf) const {
   // Operations are rendered by their interned (Call, Result) key id:
   // id equality is exactly canonical-text equality, so the key partitions
   // configurations the same way the fully textual rendering would, at a
@@ -595,7 +595,7 @@ std::string PushPullMachine::configKey() const {
   StateTable &Table = Spec->table();
   std::string Out;
   Out.reserve(64 + 32 * Threads.size() + 12 * G.size());
-  for (const ThreadState &Th : Threads) {
+  auto renderThread = [&](const ThreadState &Th) {
     if (Th.InTx) {
       Out += "T:";
       Out += Th.Code->printed();
@@ -633,14 +633,85 @@ std::string PushPullMachine::configKey() const {
     }
     Out += std::to_string(Th.Pending.size());
     Out += '\x02';
+  };
+  if (!LabelOf) {
+    for (const ThreadState &Th : Threads)
+      renderThread(Th);
+  } else {
+    // Slot l holds the thread relabeled to l.
+    std::vector<size_t> AtLabel(Threads.size());
+    for (size_t T = 0; T < Threads.size(); ++T)
+      AtLabel[(*LabelOf)[T]] = T;
+    for (size_t L = 0; L < AtLabel.size(); ++L)
+      renderThread(Threads[AtLabel[L]]);
   }
   for (const GlobalEntry &E : G.entries()) {
     Out += std::to_string(Table.opKey(E.Op));
     Out += E.Kind == GlobalKind::Committed ? 'C' : 'U';
-    Out += std::to_string(E.Owner);
+    Out += std::to_string(LabelOf ? (*LabelOf)[E.Owner] : E.Owner);
     Out += ';';
   }
+  // Committed-transaction content, in commit order and tid-free: the
+  // oracle replays these otx bodies and demands the recorded final stacks,
+  // so its verdict is a function of this section.
+  for (const CommittedTx &C : Committed) {
+    Out += '\x03';
+    Out += C.Body->printed();
+    Out += '\x01';
+    for (const auto &[Var, Val] : C.Sigma.entries()) {
+      Out += Var;
+      Out += '>';
+      Out += std::to_string(Val);
+      Out += ',';
+    }
+    Out += '\x01';
+    for (const auto &[Var, Val] : C.FinalSigma.entries()) {
+      Out += Var;
+      Out += '>';
+      Out += std::to_string(Val);
+      Out += ',';
+    }
+  }
   return Out;
+}
+
+RuleFootprint pushpull::ruleFootprint(RuleKind K) {
+  // Justification, criterion by criterion, against the evaluations above:
+  //
+  //   APP     (i) allowed under the *local* view L·x (localViewId) — own
+  //           thread only.  Mutation: own c, sigma, L.
+  //   UNAPP   structural flags on own L only.  Mutation: own c, sigma, L.
+  //   PUSH    (i) movers against own L; (ii) right-movers against the
+  //           *uncommitted G entries of other owners*; (iii) allowed under
+  //           the global view (globalViewId).  (ii) and (iii) read G.
+  //           Mutation: appends to G.
+  //   UNPUSH  (i, gray) movers against *later G entries*; (ii) G minus the
+  //           entry still allowed (globalViewId with OmitIdx).  Reads and
+  //           mutates (removes from) G.
+  //   PULL    (i) entry not already in own L; (ii) own local view allows
+  //           the pulled op; (iii, gray) right-movers against own L.  The
+  //           criteria read only the *pulled entry* of G; the mutation is
+  //           own-L append.  (The reduction layer refines this entry-wise:
+  //           see sim/Reduction.h.)
+  //   UNPULL  structural flags on own L only.
+  //   CMT     (i) fin(c) — own; (ii) own L pushed and present in G; (iii)
+  //           pulled entries' *G kinds* committed; (iv) commitOwned.
+  //           Reads G; mutation reflags own G entries gUCmt -> gCmt.
+  switch (K) {
+  case RuleKind::App:
+  case RuleKind::UnApp:
+  case RuleKind::UnPull:
+    return {/*ReadsGlobal=*/false, /*WritesGlobal=*/false};
+  case RuleKind::Push:
+    return {/*ReadsGlobal=*/true, /*WritesGlobal=*/true};
+  case RuleKind::UnPush:
+    return {/*ReadsGlobal=*/true, /*WritesGlobal=*/true};
+  case RuleKind::Pull:
+    return {/*ReadsGlobal=*/true, /*WritesGlobal=*/false};
+  case RuleKind::Commit:
+    return {/*ReadsGlobal=*/true, /*WritesGlobal=*/true};
+  }
+  return {};
 }
 
 std::vector<Operation> PushPullMachine::committedLog() const {

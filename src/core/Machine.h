@@ -220,11 +220,22 @@ public:
   /// the worker that will drive them.
   void setMovers(MoverChecker &M) { Movers = &M; }
 
-  /// Canonical key of this configuration (threads' code, stacks, logs,
-  /// and G).  Operation ids differ between branches that apply "the same"
-  /// operation, so the key renders operations by call/result and logs by
-  /// structure.  Used by the explorer's visited set.
-  std::string configKey() const;
+  /// Canonical key of this configuration (threads' code, stacks, logs, G,
+  /// and the content of committed transactions).  Operation ids differ
+  /// between branches that apply "the same" operation, so the key renders
+  /// operations by call/result and logs by structure.  Committed content
+  /// (bodies and stacks in commit order, tid-free) is part of the key
+  /// because the serializability oracle's verdict is a function of it:
+  /// without it, two configurations differing only in commit order would
+  /// merge in the explorer's visited map and the surviving verdict would
+  /// depend on traversal order.  Used by the explorer's visited set.
+  ///
+  /// \p LabelOf, if given, renames thread ids for the symmetry reduction:
+  /// thread \c T is rendered in slot \c (*LabelOf)[T] and global-log
+  /// owners are rewritten through the same map.  Sound only for
+  /// permutations that map threads to threads with identical programs
+  /// (pending queues are keyed by count, not content).
+  std::string configKey(const std::vector<TxId> *LabelOf = nullptr) const;
 
   /// The committed projection |G|_gCmt — what the serializability theorem
   /// relates to an atomic log.
@@ -282,6 +293,26 @@ private:
   std::vector<CommittedTx> Committed;
   uint64_t CommitSeq = 0;
 };
+
+/// What a rule's Figure 5 criteria read and what its mutation writes,
+/// summarized at the granularity the partial-order reduction needs: the
+/// firing thread's own state {c, sigma, L} versus the shared log G.  The
+/// per-rule values are justified criterion by criterion in
+/// Machine.cpp:ruleFootprint, next to the code that evaluates them.
+struct RuleFootprint {
+  /// Some criterion consults G (beyond the thread's own entries' links).
+  bool ReadsGlobal = false;
+  /// The mutation appends to / removes from / reflags G.
+  bool WritesGlobal = false;
+
+  /// The rule neither reads nor writes G: it commutes with every firing
+  /// of every other thread.
+  bool local() const { return !ReadsGlobal && !WritesGlobal; }
+};
+
+/// The static footprint of \p K.  All rules read and write their own
+/// thread's {c, sigma, L}; this reports their shared-log footprint.
+RuleFootprint ruleFootprint(RuleKind K);
 
 } // namespace pushpull
 

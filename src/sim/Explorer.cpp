@@ -70,63 +70,45 @@ const SerializabilityVerdict &cachedCommitOrderVerdict(
       .first->second;
 }
 
-/// Enumerate every enabled move from \p M, in the canonical rule order the
-/// sequential DFS has always used.  \p Emit receives each successor
-/// machine; the counters account applied/rejected attempts.  Shared by the
-/// sequential and parallel engines so their enumeration (and thus their
-/// visited closure) is identical.
-template <typename Emit>
-void expandSuccessors(const PushPullMachine &M, const ExplorerConfig &Config,
-                      uint64_t &RuleApplications, uint64_t &RejectedAttempts,
-                      Emit &&EmitNext) {
-  // Rejected rule attempts never mutate the machine (the Machine.h
-  // contract: schedulers may probe moves freely), so one scratch copy of
-  // M is reused across consecutive rejections; only an applied rule
-  // consumes it.  This turns "one machine copy per attempt" into "one
-  // per applied rule plus one", and rejections outnumber applications by
-  // an order of magnitude on typical scopes.
-  std::optional<PushPullMachine> Scratch;
-  auto Attempt = [&](auto &&Apply) {
-    if (!Scratch)
-      Scratch.emplace(M);
-    if (Apply(*Scratch)) {
-      ++RuleApplications;
-      EmitNext(std::move(*Scratch));
-      Scratch.reset();
-    } else {
-      ++RejectedAttempts;
-    }
+/// Enumerate every candidate move from \p M as a (firing, footprint)
+/// pair, in the canonical rule order the sequential DFS has always used:
+/// per thread, guarded BEGIN | APP (step x completion) | PUSH (each npshd)
+/// | PULL (each global entry not in L, opacity toggle respected) | CMT |
+/// backward UNAPP / UNPUSH / UNPULL.  Candidates are *attempts*: whether
+/// one is enabled is decided by firing it (rejections never mutate).
+std::vector<Candidate> enumerateCandidates(const PushPullMachine &M,
+                                           const ExplorerConfig &Config) {
+  std::vector<Candidate> Out;
+  auto FP = [](RuleKind K) {
+    RuleFootprint R = ruleFootprint(K);
+    FiringFootprint F;
+    F.ReadsG = R.ReadsGlobal;
+    F.WritesG = R.WritesGlobal;
+    return F;
   };
+  const FiringFootprint Local; // BEGIN and the local rules.
 
   for (const ThreadState &Th : M.threads()) {
     TxId T = Th.Tid;
 
     if (!Th.InTx) {
-      if (!Th.Pending.empty()) {
-        // Guarded begin: cannot fail, so it never counts as rejected.
-        if (!Scratch)
-          Scratch.emplace(M);
-        if (Scratch->beginTx(T)) {
-          ++RuleApplications;
-          EmitNext(std::move(*Scratch));
-          Scratch.reset();
-        }
-      }
+      if (!Th.Pending.empty())
+        Out.push_back({{T, FiringKind::Begin, 0, 0}, Local});
       continue;
     }
 
-    // APP: every (step choice, completion) pair.
     for (const AppChoice &Choice : M.appChoices(T))
       for (size_t CI = 0; CI < Choice.Completions.size(); ++CI)
-        Attempt([&](PushPullMachine &N) {
-          return N.app(T, Choice.StepIdx, CI).Applied;
-        });
+        Out.push_back({{T, FiringKind::App,
+                        static_cast<uint32_t>(Choice.StepIdx),
+                        static_cast<uint32_t>(CI)},
+                       Local});
 
-    // PUSH every npshd entry.
     for (size_t I : Th.L.indicesOf(LocalKind::NotPushed))
-      Attempt([&](PushPullMachine &N) { return N.push(T, I).Applied; });
+      Out.push_back(
+          {{T, FiringKind::Push, static_cast<uint32_t>(I), 0},
+           FP(RuleKind::Push)});
 
-    // PULL every global entry not in L (respecting the opacity toggle).
     for (size_t GI = 0; GI < M.global().size(); ++GI) {
       const GlobalEntry &GE = M.global()[GI];
       if (Th.L.contains(GE.Op.Id))
@@ -134,33 +116,112 @@ void expandSuccessors(const PushPullMachine &M, const ExplorerConfig &Config,
       if (!Config.ExploreUncommittedPulls &&
           GE.Kind == GlobalKind::Uncommitted)
         continue;
-      Attempt([&](PushPullMachine &N) { return N.pull(T, GI).Applied; });
+      FiringFootprint PullFP = FP(RuleKind::Pull);
+      PullFP.PullOwner = GE.Owner;
+      PullFP.PullCommitted = GE.Kind == GlobalKind::Committed;
+      Out.push_back(
+          {{T, FiringKind::Pull, static_cast<uint32_t>(GI), 0}, PullFP});
     }
 
-    // CMT.
-    Attempt([&](PushPullMachine &N) { return N.commit(T).Applied; });
+    Out.push_back({{T, FiringKind::Commit, 0, 0}, FP(RuleKind::Commit)});
 
     if (Config.ExploreBackwardRules) {
-      Attempt([&](PushPullMachine &N) { return N.unapp(T).Applied; });
+      Out.push_back({{T, FiringKind::UnApp, 0, 0}, Local});
       for (size_t I : Th.L.indicesOf(LocalKind::Pushed))
-        Attempt([&](PushPullMachine &N) { return N.unpush(T, I).Applied; });
+        Out.push_back(
+            {{T, FiringKind::UnPush, static_cast<uint32_t>(I), 0},
+             FP(RuleKind::UnPush)});
       for (size_t I : Th.L.indicesOf(LocalKind::Pulled))
-        Attempt([&](PushPullMachine &N) { return N.unpull(T, I).Applied; });
+        Out.push_back(
+            {{T, FiringKind::UnPull, static_cast<uint32_t>(I), 0}, Local});
+    }
+  }
+  return Out;
+}
+
+/// The counters expandReduced accounts into (plain references so the
+/// sequential engine passes report fields and workers pass locals).
+struct ExpandCounters {
+  uint64_t &RuleApplications;
+  uint64_t &RejectedAttempts;
+  uint64_t &FiringsPruned;
+  uint64_t &PersistentCuts;
+};
+
+/// Expand the successors of \p M under the configured reduction.  \p Emit
+/// receives each successor machine together with its sleep set.  Shared
+/// by the sequential and parallel engines so their enumeration (and thus
+/// their visited closure) is identical per reduction mode.
+///
+/// Sleep-set protocol: candidates are explored in canonical order; a
+/// candidate already in the accumulated sleep set (the inherited set plus
+/// the *applied* earlier siblings) is pruned — it was fired at an
+/// ancestor and only firings independent of it happened since, so its
+/// subtree here is a commutation of one already explored.  Rejected
+/// candidates are never added to the accumulator: a later sibling's
+/// subtree may *enable* them, and those subtrees must not prune them.
+/// The child of firing C inherits the accumulated members independent of
+/// C (their firing identities are stable across C: no independent firing
+/// reorders another thread's local log or removes global entries).
+template <typename Emit>
+void expandReduced(const PushPullMachine &M, const ExplorerConfig &Config,
+                   const SleepSet &Sleep, ExpandCounters Ctr,
+                   Emit &&EmitNext) {
+  std::vector<Candidate> Cands = enumerateCandidates(M, Config);
+
+  if (usesPersistentSets(Config.Reduce)) {
+    size_t Dropped = restrictToPersistent(Cands);
+    if (Dropped) {
+      Ctr.FiringsPruned += Dropped;
+      ++Ctr.PersistentCuts;
+    }
+  }
+
+  const bool UseSleep = usesSleepSets(Config.Reduce);
+  SleepSet Accum = Sleep;
+
+  // Rejected rule attempts never mutate the machine (the Machine.h
+  // contract: schedulers may probe moves freely), so one scratch copy of
+  // M is reused across consecutive rejections; only an applied rule
+  // consumes it.  This turns "one machine copy per attempt" into "one
+  // per applied rule plus one", and rejections outnumber applications by
+  // an order of magnitude on typical scopes.
+  std::optional<PushPullMachine> Scratch;
+  for (const Candidate &C : Cands) {
+    if (UseSleep && Accum.contains(C.F)) {
+      ++Ctr.FiringsPruned;
+      continue;
+    }
+    if (!Scratch)
+      Scratch.emplace(M);
+    if (applyFiring(*Scratch, C.F)) {
+      ++Ctr.RuleApplications;
+      SleepSet ChildSleep =
+          UseSleep ? Accum.survivorsAfter(C) : SleepSet();
+      EmitNext(std::move(*Scratch), std::move(ChildSleep));
+      Scratch.reset();
+      if (UseSleep)
+        Accum.insert(C);
+    } else if (C.F.Kind != FiringKind::Begin) {
+      // Guarded begin cannot fail, so it never counts as rejected.
+      ++Ctr.RejectedAttempts;
     }
   }
 }
 
-/// One unit of parallel work: a configuration and the depth it was
-/// reached at.
+/// One unit of parallel work: a configuration, the depth it was reached
+/// at, and the sleep set it inherited from its parent's expansion.
 struct WorkItem {
   PushPullMachine M;
   size_t Depth;
+  SleepSet Sleep;
 };
 
 /// Sharded concurrent visited map: configuration key -> shallowest depth
-/// seen.  Same protocol as the sequential map (first claim is "fresh" and
-/// does the per-config accounting; a later claim at a shallower depth
-/// re-explores without re-accounting).
+/// + narrowest sleep set seen.  Same protocol as the sequential map
+/// (first claim is "fresh" and does the per-config accounting; a later
+/// claim re-explores — without re-accounting — iff it is shallower or its
+/// sleep set would explore a transition every stored visit pruned).
 class ShardedVisited {
 public:
   struct Claim {
@@ -168,23 +229,32 @@ public:
     bool Explore; ///< Caller should expand its successors.
   };
 
-  Claim claim(std::string Key, size_t Depth) {
+  Claim claim(std::string Key, size_t Depth, const SleepSet &Sleep,
+              bool UseSleep) {
     Shard &S = Shards[std::hash<std::string>{}(Key) & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(S.Mutex);
-    auto [It, Fresh] = S.Map.try_emplace(std::move(Key), Depth);
+    auto [It, Fresh] = S.Map.try_emplace(std::move(Key), Entry{Depth, Sleep});
     if (Fresh)
       return {true, true};
-    if (It->second <= Depth)
+    bool Shallower = Depth < It->second.Depth;
+    bool SleepCovered = !UseSleep || Sleep.supersetOf(It->second.Sleep);
+    if (!Shallower && SleepCovered)
       return {false, false};
-    It->second = Depth;
+    It->second.Depth = std::min(It->second.Depth, Depth);
+    if (UseSleep)
+      It->second.Sleep.intersectWith(Sleep);
     return {false, true};
   }
 
 private:
   static constexpr size_t NumShards = 64;
+  struct Entry {
+    size_t Depth;
+    SleepSet Sleep;
+  };
   struct Shard {
     std::mutex Mutex;
-    std::unordered_map<std::string, size_t> Map;
+    std::unordered_map<std::string, Entry> Map;
   };
   Shard Shards[NumShards];
 };
@@ -195,37 +265,69 @@ Explorer::Explorer(const SequentialSpec &Spec, MoverChecker &Movers,
                    ExplorerConfig Config)
     : Spec(Spec), Movers(Movers), Config(Config), Oracle(Spec) {}
 
+std::string Explorer::canonicalKey(const PushPullMachine &M, SleepSet &Sleep,
+                                   uint64_t &SymmetryHits) const {
+  std::string Key = M.configKey();
+  if (Perms.size() <= 1)
+    return Key;
+  const std::vector<TxId> *Best = nullptr; // identity
+  for (size_t Pi = 1; Pi < Perms.size(); ++Pi) {
+    std::string K = M.configKey(&Perms[Pi]);
+    if (K < Key) {
+      Key = std::move(K);
+      Best = &Perms[Pi];
+    }
+  }
+  if (Best) {
+    ++SymmetryHits;
+    Sleep = Sleep.relabeled(*Best);
+  }
+  return Key;
+}
+
 ExplorerReport
 Explorer::explore(const std::vector<std::vector<CodePtr>> &Programs) {
   PushPullMachine M(Spec, Movers, Config.Machine);
   for (const auto &P : Programs)
     M.addThread(P);
 
+  Perms.clear();
+  if (usesSymmetry(Config.Reduce))
+    Perms = symmetryGroup(Programs);
+
   if (Config.Threads > 1)
     return exploreParallel(std::move(M));
 
   Visited.clear();
   ExplorerReport Report;
-  visit(std::move(M), 0, Report);
+  visit(std::move(M), 0, SleepSet(), Report);
   return Report;
 }
 
-void Explorer::visit(PushPullMachine M, size_t Depth,
+void Explorer::visit(PushPullMachine M, size_t Depth, SleepSet Sleep,
                      ExplorerReport &Report) {
   if (Report.ConfigsVisited >= Config.MaxConfigs || Depth > Config.MaxDepth) {
     Report.Truncated = true;
     return;
   }
-  std::string Key = M.configKey();
-  auto [It, Fresh] = Visited.try_emplace(Key, Depth);
+  const bool UseSleep = usesSleepSets(Config.Reduce);
+  // Under symmetry, key and sleep set move to the canonical labeling so
+  // entries stored by isomorphic configurations compare like with like.
+  SleepSet StoredSleep = Sleep;
+  std::string Key = canonicalKey(M, StoredSleep, Report.SymmetryHits);
+  auto [It, Fresh] = Visited.try_emplace(Key, VisitEntry{Depth, StoredSleep});
   if (!Fresh) {
-    if (It->second <= Depth)
+    bool Shallower = Depth < It->second.Depth;
+    bool SleepCovered = !UseSleep || StoredSleep.supersetOf(It->second.Sleep);
+    if (!Shallower && SleepCovered)
       return;
     // Previously reached only deeper (with part of its subtree possibly
-    // depth-pruned): re-explore from this shallower position.  The
-    // per-config accounting (visit count, invariants, terminal verdicts)
-    // already happened on the first visit.
-    It->second = Depth;
+    // depth-pruned) or with a narrower frontier (part of it sleep-pruned):
+    // re-explore from here.  The per-config accounting (visit count,
+    // invariants, terminal verdicts) already happened on the first visit.
+    It->second.Depth = std::min(It->second.Depth, Depth);
+    if (UseSleep)
+      It->second.Sleep.intersectWith(StoredSleep);
   } else {
     ++Report.ConfigsVisited;
   }
@@ -264,10 +366,14 @@ void Explorer::visit(PushPullMachine M, size_t Depth,
     return;
   }
 
-  expandSuccessors(M, Config, Report.RuleApplications,
-                   Report.RejectedAttempts, [&](PushPullMachine Next) {
-                     visit(std::move(Next), Depth + 1, Report);
-                   });
+  expandReduced(M, Config, Sleep,
+                ExpandCounters{Report.RuleApplications,
+                               Report.RejectedAttempts, Report.FiringsPruned,
+                               Report.PersistentCuts},
+                [&](PushPullMachine Next, SleepSet NextSleep) {
+                  visit(std::move(Next), Depth + 1, std::move(NextSleep),
+                        Report);
+                });
 }
 
 ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
@@ -281,13 +387,16 @@ ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
     std::atomic<uint64_t> ConfigsVisited{0}, TerminalConfigs{0};
     std::atomic<uint64_t> RuleApplications{0}, RejectedAttempts{0};
     std::atomic<uint64_t> NonSerializable{0}, InvariantViolations{0};
+    std::atomic<uint64_t> FiringsPruned{0}, PersistentCuts{0};
+    std::atomic<uint64_t> SymmetryHits{0};
     std::atomic<bool> Truncated{false};
 
     std::mutex FailureMutex;
     std::string FirstFailure;
   } Shared;
 
-  Shared.Stack.push_back(WorkItem{std::move(Root), 0});
+  const bool UseSleep = usesSleepSets(Config.Reduce);
+  Shared.Stack.push_back(WorkItem{std::move(Root), 0, SleepSet()});
 
   auto Worker = [&]() {
     // Worker-local checkers: verdicts are cache-independent, so private
@@ -328,52 +437,70 @@ ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
               Config.MaxConfigs ||
           Depth > Config.MaxDepth) {
         Shared.Truncated.store(true, std::memory_order_relaxed);
-      } else if (auto C = Shared.Visited.claim(M.configKey(), Depth);
-                 C.Explore) {
-        if (C.Fresh)
-          Shared.ConfigsVisited.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        uint64_t Hits = 0;
+        SleepSet StoredSleep = Item->Sleep;
+        std::string Key = canonicalKey(M, StoredSleep, Hits);
+        if (Hits)
+          Shared.SymmetryHits.fetch_add(Hits, std::memory_order_relaxed);
+        if (auto C = Shared.Visited.claim(std::move(Key), Depth, StoredSleep,
+                                          UseSleep);
+            C.Explore) {
+          if (C.Fresh)
+            Shared.ConfigsVisited.fetch_add(1, std::memory_order_relaxed);
 
-        if (Config.CheckInvariants && C.Fresh) {
-          for (const ThreadState &Th : M.threads()) {
-            InvariantReport IR =
-                checkAllInvariants(Th, M.global(), WorkerMovers);
-            if (!IR.Holds) {
-              Shared.InvariantViolations.fetch_add(1,
-                                                   std::memory_order_relaxed);
-              RecordFailure(IR.Which + ": " + IR.Detail);
+          if (Config.CheckInvariants && C.Fresh) {
+            for (const ThreadState &Th : M.threads()) {
+              InvariantReport IR =
+                  checkAllInvariants(Th, M.global(), WorkerMovers);
+              if (!IR.Holds) {
+                Shared.InvariantViolations.fetch_add(
+                    1, std::memory_order_relaxed);
+                RecordFailure(IR.Which + ": " + IR.Detail);
+              }
             }
           }
-        }
 
-        if (M.quiescent()) {
-          if (C.Fresh) {
-            Shared.TerminalConfigs.fetch_add(1, std::memory_order_relaxed);
-            const SerializabilityVerdict &V = cachedCommitOrderVerdict(
-                WorkerOracle, WorkerMemo, Spec.table(), M);
-            if (V.Serializable != Tri::Yes) {
-              Shared.NonSerializable.fetch_add(1, std::memory_order_relaxed);
-              std::string Text = "non-serializable terminal: " + V.Detail +
-                                 "\n" + M.toString();
-              for (const CommittedTx &Cm : M.committed())
-                Text += "  commit[" + std::to_string(Cm.CommitSeq) + "] t" +
-                        std::to_string(Cm.Tid) + ": " + printCode(Cm.Body) +
-                        " start=" + Cm.Sigma.toString() + " final=" +
-                        Cm.FinalSigma.toString() + "\n";
-              Text += "  trace:\n" + M.trace().toString();
-              RecordFailure(Text);
+          if (M.quiescent()) {
+            if (C.Fresh) {
+              Shared.TerminalConfigs.fetch_add(1, std::memory_order_relaxed);
+              const SerializabilityVerdict &V = cachedCommitOrderVerdict(
+                  WorkerOracle, WorkerMemo, Spec.table(), M);
+              if (V.Serializable != Tri::Yes) {
+                Shared.NonSerializable.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                std::string Text = "non-serializable terminal: " + V.Detail +
+                                   "\n" + M.toString();
+                for (const CommittedTx &Cm : M.committed())
+                  Text += "  commit[" + std::to_string(Cm.CommitSeq) + "] t" +
+                          std::to_string(Cm.Tid) + ": " +
+                          printCode(Cm.Body) + " start=" +
+                          Cm.Sigma.toString() + " final=" +
+                          Cm.FinalSigma.toString() + "\n";
+                Text += "  trace:\n" + M.trace().toString();
+                RecordFailure(Text);
+              }
             }
+          } else {
+            uint64_t Applied = 0, Rejected = 0, Pruned = 0, Cuts = 0;
+            expandReduced(M, Config, Item->Sleep,
+                          ExpandCounters{Applied, Rejected, Pruned, Cuts},
+                          [&](PushPullMachine Next, SleepSet NextSleep) {
+                            Children.push_back(WorkItem{std::move(Next),
+                                                        Depth + 1,
+                                                        std::move(NextSleep)});
+                          });
+            Shared.RuleApplications.fetch_add(Applied,
+                                              std::memory_order_relaxed);
+            Shared.RejectedAttempts.fetch_add(Rejected,
+                                              std::memory_order_relaxed);
+            if (Pruned)
+              Shared.FiringsPruned.fetch_add(Pruned,
+                                             std::memory_order_relaxed);
+            if (Cuts)
+              Shared.PersistentCuts.fetch_add(Cuts,
+                                              std::memory_order_relaxed);
           }
-        } else {
-          uint64_t Applied = 0, Rejected = 0;
-          expandSuccessors(M, Config, Applied, Rejected,
-                           [&](PushPullMachine Next) {
-                             Children.push_back(
-                                 WorkItem{std::move(Next), Depth + 1});
-                           });
-          Shared.RuleApplications.fetch_add(Applied,
-                                            std::memory_order_relaxed);
-          Shared.RejectedAttempts.fetch_add(Rejected,
-                                            std::memory_order_relaxed);
         }
       }
 
@@ -401,6 +528,9 @@ ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
   Report.RejectedAttempts = Shared.RejectedAttempts.load();
   Report.NonSerializable = Shared.NonSerializable.load();
   Report.InvariantViolations = Shared.InvariantViolations.load();
+  Report.FiringsPruned = Shared.FiringsPruned.load();
+  Report.PersistentCuts = Shared.PersistentCuts.load();
+  Report.SymmetryHits = Shared.SymmetryHits.load();
   Report.Truncated = Shared.Truncated.load();
   Report.FirstFailure = std::move(Shared.FirstFailure);
   return Report;

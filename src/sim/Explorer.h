@@ -18,17 +18,34 @@
 /// Optionally the Section 5.3 invariants are re-checked at every explored
 /// configuration (Lemmas 5.7-5.13 as runtime assertions).
 ///
+/// ExplorerConfig::Reduce selects a partial-order reduction (see
+/// sim/Reduction.h): sleep sets prune transitions whose exploration would
+/// only re-derive commuted interleavings, persistent sets additionally
+/// prune configurations (BEGIN-priority), and the symmetry mode
+/// canonicalizes configurations under renaming of identical thread
+/// programs before the visited-map lookup.  Every mode preserves the
+/// *verdicts*: NonSerializable and InvariantViolations are zero under a
+/// reduced search iff they are zero under Reduction::None, and the modes
+/// without symmetry preserve the exact TerminalConfigs and per-terminal
+/// verdict counts (the tests/reduction_test.cpp battery enforces this).
+///
 /// With ExplorerConfig::Threads > 1 the search runs on a worker pool: a
-/// shared LIFO work queue of configurations, a sharded concurrent visited
-/// map, per-worker mover checkers and oracles (verdicts are cache-
-/// independent, so worker-local caches are sound), and atomic report
-/// counters.  The visited/accounting protocol is the same as the
-/// sequential DFS, so the aggregate totals ConfigsVisited /
-/// TerminalConfigs / NonSerializable / InvariantViolations are
-/// deterministic and equal to the Threads=1 run on non-truncated
-/// explorations; only visit order (and thus RuleApplications /
-/// RejectedAttempts re-exploration counts and which failure is reported
-/// first) may differ.
+/// shared LIFO work queue of configurations (sleep sets travel with the
+/// work items), a sharded concurrent visited map, per-worker mover
+/// checkers and oracles (verdicts are cache-independent, so worker-local
+/// caches are sound), and atomic report counters.
+///
+/// Which report fields are deterministic: the visited/accounting protocol
+/// guarantees that the aggregate totals ConfigsVisited / TerminalConfigs /
+/// NonSerializable / InvariantViolations are deterministic for a given
+/// (config, reduction mode) and equal across Threads=1 and Threads>1 on
+/// non-truncated explorations.  RuleApplications, RejectedAttempts,
+/// FiringsPruned, PersistentCuts and SymmetryHits count *work performed*:
+/// they are deterministic under Threads=1 but vary with visit order under
+/// Threads>1 (parallel workers may race to a configuration and re-expand
+/// it), and which failure is reported first likewise depends on order.
+/// Tests must assert only the deterministic totals when Threads>1 — see
+/// tests/explorer_test.cpp and tests/reduction_test.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +54,7 @@
 
 #include "check/Serializability.h"
 #include "core/Machine.h"
+#include "sim/Reduction.h"
 
 #include <cstdint>
 #include <string>
@@ -57,6 +75,10 @@ struct ExplorerConfig {
   bool ExploreUncommittedPulls = true;
   /// Re-check the Section 5.3 invariants at every configuration.
   bool CheckInvariants = false;
+  /// Partial-order reduction mode (sim/Reduction.h).  None keeps the
+  /// full enumeration; every mode preserves the verdicts (see the file
+  /// comment).
+  Reduction Reduce = Reduction::None;
   /// Stop after visiting this many distinct configurations.
   uint64_t MaxConfigs = 2000000;
   /// Abandon paths longer than this many rule applications.
@@ -79,12 +101,30 @@ struct ExplorerReport {
   uint64_t NonSerializable = 0;
   /// Invariant violations found (must stay zero).
   uint64_t InvariantViolations = 0;
+  /// Candidate firings skipped by the reduction: sleep-set hits plus
+  /// candidates dropped by a persistent-set restriction.  Zero under
+  /// Reduction::None.
+  uint64_t FiringsPruned = 0;
+  /// Configurations at which the persistent-set restriction applied
+  /// (an idle thread's BEGIN was the whole exploration frontier).
+  uint64_t PersistentCuts = 0;
+  /// Visits whose configuration canonicalized to a non-identity thread
+  /// relabeling (symmetry mode only).
+  uint64_t SymmetryHits = 0;
   bool Truncated = false;
   /// Diagnostic for the first failure, if any.
   std::string FirstFailure;
 
   bool clean() const {
     return NonSerializable == 0 && InvariantViolations == 0;
+  }
+
+  /// Fraction of enumerated candidate firings the reduction pruned.
+  double reductionRatio() const {
+    uint64_t Attempted = RuleApplications + RejectedAttempts;
+    uint64_t All = Attempted + FiringsPruned;
+    return All ? static_cast<double>(FiringsPruned) / static_cast<double>(All)
+               : 0.0;
   }
 };
 
@@ -99,7 +139,30 @@ public:
   ExplorerReport explore(const std::vector<std::vector<CodePtr>> &Programs);
 
 private:
-  void visit(PushPullMachine M, size_t Depth, ExplorerReport &Report);
+  /// One visited-map entry: the shallowest depth this configuration was
+  /// explored at, and the intersection of the sleep sets it was explored
+  /// with.  A revisit is pruned only if it is no shallower *and* its
+  /// sleep set is a superset of the stored one (it could not explore any
+  /// transition the stored visits did not); otherwise it re-explores and
+  /// the entry absorbs it.  This is the classical sleep-sets +
+  /// state-caching protocol; with empty sleep sets (Reduction::None) it
+  /// degenerates to the PR 1 depth-only rule.
+  struct VisitEntry {
+    size_t Depth = 0;
+    SleepSet Sleep;
+  };
+
+  void visit(PushPullMachine M, size_t Depth, SleepSet Sleep,
+             ExplorerReport &Report);
+
+  /// Canonical visited-map key of \p M under the configured reduction:
+  /// the minimum of configKey over the symmetry group (identity only,
+  /// unless symmetry is enabled).  \p Sleep is relabeled through the
+  /// minimizing permutation so that sleep sets stored under a canonical
+  /// key are expressed in the canonical labeling.  Bumps \p SymmetryHits
+  /// when the minimizer is not the identity.
+  std::string canonicalKey(const PushPullMachine &M, SleepSet &Sleep,
+                           uint64_t &SymmetryHits) const;
 
   ExplorerReport exploreParallel(PushPullMachine Root);
 
@@ -107,16 +170,17 @@ private:
   MoverChecker &Movers;
   ExplorerConfig Config;
   SerializabilityChecker Oracle;
+  /// Thread relabelings for the symmetry reduction (identity first).
+  /// Empty unless Config.Reduce enables symmetry.
+  std::vector<std::vector<TxId>> Perms;
   /// Committed-content key -> oracle verdict.  The commit-order verdict is
   /// a pure function of the commit-ordered transaction bodies/stacks and
   /// the committed shared log, so distinct terminal configurations with
   /// identical committed content share one atomic-machine search.
   std::unordered_map<std::string, SerializabilityVerdict> OracleMemo;
-  /// Configuration key -> shallowest depth it has been visited at.  A
-  /// config first reached near the depth cap would have its subtree
-  /// pruned; revisiting it at a shallower depth re-explores it, so
-  /// non-truncated reports really did cover everything.
-  std::unordered_map<std::string, size_t> Visited;
+  /// Configuration key -> shallowest depth + narrowest sleep set it has
+  /// been explored with (see VisitEntry).
+  std::unordered_map<std::string, VisitEntry> Visited;
 };
 
 } // namespace pushpull

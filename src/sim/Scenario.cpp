@@ -378,14 +378,24 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
       // every schedule, not just the one the engine/scheduler produced.
       ExplorerConfig EC;
       EC.Threads = S.ExplorerThreads;
+      EC.Reduce = S.ExplorerReduction;
       Explorer Ex(*S.Spec, Movers, EC);
       ExplorerReport R = Ex.explore(S.Threads);
-      Out.CheckResults.push_back(
+      std::string Line =
           "explore: " + std::to_string(R.ConfigsVisited) + " configs, " +
           std::to_string(R.TerminalConfigs) + " terminals, " +
           std::to_string(R.NonSerializable) + " non-serializable, " +
-          std::to_string(R.InvariantViolations) + " invariant violations" +
-          (R.Truncated ? " (truncated)" : ""));
+          std::to_string(R.InvariantViolations) + " invariant violations";
+      if (EC.Reduce != Reduction::None)
+        Line += ", reduction=" + toString(EC.Reduce) + " pruned " +
+                std::to_string(R.FiringsPruned) + " firings";
+      if (R.Truncated)
+        Line += " (truncated)";
+      Out.CheckResults.push_back(std::move(Line));
+      Out.Caches.ExplorerFiringsPruned += R.FiringsPruned;
+      Out.Caches.ExplorerPersistentCuts += R.PersistentCuts;
+      Out.Caches.ExplorerSymmetryHits += R.SymmetryHits;
+      Out.Caches.ExplorerReductionRatio = R.reductionRatio();
       Out.Ok = Out.Ok && R.clean();
     } else {
       Out.CheckResults.push_back("error: unknown check '" + Check + "'");

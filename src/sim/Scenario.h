@@ -31,6 +31,7 @@
 #define PUSHPULL_SIM_SCENARIO_H
 
 #include "core/Machine.h"
+#include "sim/Reduction.h"
 #include "sim/Scheduler.h"
 #include "sim/Stats.h"
 
@@ -68,6 +69,8 @@ struct Scenario {
   PrecongruenceLimits Pre;
   /// Worker threads for the "explore" check (pprun --threads).
   unsigned ExplorerThreads = 1;
+  /// Partial-order reduction for the "explore" check (pprun --reduction).
+  Reduction ExplorerReduction = Reduction::None;
 };
 
 /// Parse outcome.

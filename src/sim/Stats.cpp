@@ -63,5 +63,11 @@ std::string CacheStats::toString() const {
   Out += "  precongruence pairs:  " + std::to_string(PrecongruencePairs) +
          "\n";
   Out += "  reachable state sets: " + std::to_string(ReachableSets) + "\n";
+  Out += "  firings pruned:       " + std::to_string(ExplorerFiringsPruned) +
+         " (" + percent(ExplorerReductionRatio) + " of candidates)\n";
+  Out += "  persistent cuts:      " +
+         std::to_string(ExplorerPersistentCuts) + "\n";
+  Out += "  symmetry hits:        " + std::to_string(ExplorerSymmetryHits) +
+         "\n";
   return Out;
 }

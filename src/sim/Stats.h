@@ -69,6 +69,13 @@ struct CacheStats {
   /// Reachable state sets enumerated for the mover's Definition 4.1
   /// quantification (0 when no semantic query ran).
   uint64_t ReachableSets = 0;
+  /// Explorer partial-order-reduction counters (all zero unless the run's
+  /// "explore" check ran with a reduction enabled; see sim/Reduction.h).
+  uint64_t ExplorerFiringsPruned = 0;
+  uint64_t ExplorerPersistentCuts = 0;
+  uint64_t ExplorerSymmetryHits = 0;
+  /// Fraction of the explorer's candidate firings the reduction pruned.
+  double ExplorerReductionRatio = 0.0;
 
   double moverHitRate() const {
     uint64_t Total = MoverMemoHits + MoverMemoMisses;

@@ -28,6 +28,9 @@ TEST(Explorer, SingleThreadAllPathsSerializable) {
 }
 
 TEST(Explorer, TwoConflictingRegisterTxsAllInterleavingsSerializable) {
+  // Threads=1: the RejectedAttempts assertion below counts *work
+  // performed*, which is deterministic only for the sequential engine
+  // (parallel workers may race to a configuration and re-expand it).
   RegisterSpec Spec("mem", 1, 2);
   MoverChecker Movers(Spec);
   Explorer E(Spec, Movers);
@@ -42,10 +45,14 @@ TEST(Explorer, TwoConflictingRegisterTxsAllInterleavingsSerializable) {
 }
 
 TEST(Explorer, SetTransactionsWithInvariantChecking) {
+  // Runs the parallel explorer by default: everything asserted here
+  // (truncation, verdicts, invariant count) is one of the deterministic
+  // aggregates, so worker count must not matter.
   SetSpec Spec("set", 2);
   MoverChecker Movers(Spec);
   ExplorerConfig EC;
   EC.CheckInvariants = true;
+  EC.Threads = 4;
   Explorer E(Spec, Movers, EC);
   ExplorerReport R =
       E.explore({{parseOrDie("tx { a := set.add(0) }")},
@@ -104,6 +111,8 @@ TEST(Explorer, OpaqueFragmentSmallerThanFullModel) {
 }
 
 TEST(Explorer, QueueNonCommutativityForcesSerialOrder) {
+  // Threads=1: asserts RejectedAttempts, which is only deterministic for
+  // the sequential engine.
   QueueSpec Spec("q", 2, 2);
   MoverChecker Movers(Spec);
   Explorer E(Spec, Movers);
@@ -128,10 +137,13 @@ TEST(Explorer, TruncationReported) {
 }
 
 TEST(Explorer, ThreeThreadsStillClean) {
+  // The widest scope in this file runs on the worker pool by default —
+  // only deterministic totals are asserted.
   RegisterSpec Spec("mem", 1, 2);
   MoverChecker Movers(Spec);
   ExplorerConfig EC;
   EC.MaxConfigs = 500000;
+  EC.Threads = 4;
   Explorer E(Spec, Movers, EC);
   ExplorerReport R = E.explore({{parseOrDie("tx { mem.write(0, 1) }")},
                                 {parseOrDie("tx { v := mem.read(0) }")},

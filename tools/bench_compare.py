@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Smoke-benchmark harness: run bench_explorer / bench_mover, compare
 against the recorded pre-interning seed baselines, capture cache
-effectiveness from `pprun --stats`, and write the result as JSON
-(BENCH_PR1.json at the repo root, via the `bench-smoke` CMake target).
+effectiveness from `pprun --stats`, measure the partial-order-reduction
+ratio (full enumeration vs persistent+symmetry on a symmetric scope),
+and write the result as JSON (BENCH_PR3.json at the repo root, via the
+`bench-smoke` CMake target).
 
 Only the Python standard library is used.  Times are medians of
 `--repeats` runs of each binary (the benches themselves already average
@@ -86,6 +88,54 @@ def run_bench(binary, repeats):
     }
 
 
+REDUCTION_SCENARIO = """# bench_compare reduction scenario: 3 identical threads.
+spec counter name=c counters=1 mod=3
+engine boosting seed=42
+schedule random seed=7 maxsteps=100000
+thread tx { c.inc(0) }
+thread tx { c.inc(0) }
+thread tx { c.inc(0) }
+check explore
+"""
+
+
+def run_reduction_scenario(pprun):
+    """Run `check explore` with and without reduction; return the config
+    counts, the pruning counters, and the reduction ratio."""
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".pp", delete=False) as tmp:
+        tmp.write(REDUCTION_SCENARIO)
+        path = tmp.name
+    out = {}
+    try:
+        for mode, key in (("none", "full"), ("persistent+symmetry",
+                                             "reduced")):
+            proc = subprocess.run(
+                [pprun, "--stats", "--reduction=" + mode, path],
+                capture_output=True, text=True)
+            m = re.search(r"explore: (\d+) configs, (\d+) terminals, "
+                          r"(\d+) non-serializable", proc.stdout)
+            if not m:
+                return {}
+            out[key + "_configs"] = int(m.group(1))
+            out[key + "_terminals"] = int(m.group(2))
+            out[key + "_non_serializable"] = int(m.group(3))
+            if key == "reduced":
+                for stat, pat in (
+                        ("firings_pruned", r"firings pruned:\s+(\d+)"),
+                        ("persistent_cuts", r"persistent cuts:\s+(\d+)"),
+                        ("symmetry_hits", r"symmetry hits:\s+(\d+)")):
+                    sm = re.search(pat, proc.stdout)
+                    if sm:
+                        out[stat] = int(sm.group(1))
+    finally:
+        os.unlink(path)
+    if out.get("full_configs"):
+        out["config_ratio"] = round(
+            out["reduced_configs"] / out["full_configs"], 3)
+    return out
+
+
 def run_stats_scenario(pprun):
     """Run pprun --stats on the smoke scenario; parse the cache block."""
     with tempfile.NamedTemporaryFile(
@@ -124,12 +174,12 @@ def run_stats_scenario(pprun):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR1.json")
+    ap.add_argument("--out", default="BENCH_PR3.json")
     ap.add_argument("--repeats", type=int, default=3)
     args = ap.parse_args()
 
     result = {"repeats": args.repeats, "benchmarks": {}, "explorer": {},
-              "cache_stats": {}}
+              "cache_stats": {}, "reduction": {}}
     worst = None
 
     for bench, baselines in SEED_NS.items():
@@ -167,6 +217,7 @@ def main():
     pprun = os.path.join(args.build_dir, "tools", "pprun")
     if os.path.exists(pprun):
         result["cache_stats"] = run_stats_scenario(pprun)
+        result["reduction"] = run_reduction_scenario(pprun)
 
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
@@ -185,6 +236,11 @@ def main():
     if "transition_memo_hit_rate" in result["cache_stats"]:
         print("transition memo hit rate: "
               f"{result['cache_stats']['transition_memo_hit_rate']:.1%}")
+    if "config_ratio" in result["reduction"]:
+        red = result["reduction"]
+        print(f"reduction: {red['reduced_configs']} of "
+              f"{red['full_configs']} configs "
+              f"({red['config_ratio']:.1%}) under persistent+symmetry")
     if worst:
         print(f"slowest speedup: {worst[0]} at {worst[1]:.2f}x")
     print(f"wrote {args.out}")

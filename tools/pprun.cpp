@@ -14,6 +14,9 @@
 //   pprun --stats <scenario-file>     also print interning/memoization
 //                                     effectiveness counters
 //   pprun --threads N ...             worker threads for `check explore`
+//   pprun --reduction MODE ...        partial-order reduction for `check
+//                                     explore`: none | sleep | persistent |
+//                                     persistent+symmetry (also =MODE form)
 //   pprun --max-pairs N ...           precongruence pair budget per query
 //   pprun --max-reachable N ...       reachable-state-set enumeration bound
 //
@@ -48,7 +51,20 @@ int main(int argc, char **argv) {
   bool ShowCriteria = false;
   bool ShowStats = false;
   long Threads = -1, MaxPairs = -1, MaxReachable = -1;
+  Reduction Reduce = Reduction::None;
+  bool HaveReduce = false;
   const char *Path = nullptr;
+
+  auto ParseReduction = [&](const char *Mode) {
+    if (!reductionFromString(Mode, Reduce)) {
+      std::fprintf(stderr,
+                   "error: --reduction wants none | sleep | persistent |"
+                   " persistent+symmetry, got '%s'\n",
+                   Mode);
+      std::exit(2);
+    }
+    HaveReduce = true;
+  };
 
   auto NumArg = [&](int &I, const char *Flag, long &Out) {
     if (std::strcmp(argv[I], Flag) != 0)
@@ -77,6 +93,18 @@ int main(int argc, char **argv) {
       ShowStats = true;
       continue;
     }
+    if (std::strcmp(argv[I], "--reduction") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --reduction needs a mode\n");
+        return 2;
+      }
+      ParseReduction(argv[++I]);
+      continue;
+    }
+    if (std::strncmp(argv[I], "--reduction=", 12) == 0) {
+      ParseReduction(argv[I] + 12);
+      continue;
+    }
     if (NumArg(I, "--threads", Threads) || NumArg(I, "--max-pairs", MaxPairs) ||
         NumArg(I, "--max-reachable", MaxReachable))
       continue;
@@ -85,7 +113,8 @@ int main(int argc, char **argv) {
   if (!Path) {
     std::fprintf(stderr,
                  "usage: pprun [--trace] [--criteria] [--stats]\n"
-                 "             [--threads N] [--max-pairs N]"
+                 "             [--threads N] [--reduction MODE]"
+                 " [--max-pairs N]"
                  " [--max-reachable N] <scenario-file>\n"
                  "       pprun --example   (print a sample scenario)\n");
     return 2;
@@ -109,6 +138,8 @@ int main(int argc, char **argv) {
   Scenario &S = *PR.Parsed;
   if (Threads > 0)
     S.ExplorerThreads = static_cast<unsigned>(Threads);
+  if (HaveReduce)
+    S.ExplorerReduction = Reduce;
   if (MaxPairs > 0)
     S.Pre.MaxPairs = static_cast<size_t>(MaxPairs);
   if (MaxReachable > 0)
