@@ -194,6 +194,7 @@ void BM_ExploreReduced(benchmark::State &State) {
   CounterSpec Spec("c", 1, 3);
   MoverChecker Movers(Spec);
   uint64_t Configs = 0, Pruned = 0;
+  memstats::Snapshot MemBefore = memstats::read();
   for (auto _ : State) {
     ExplorerConfig EC;
     EC.Reduce = Mode;
@@ -204,11 +205,20 @@ void BM_ExploreReduced(benchmark::State &State) {
     Configs += R.ConfigsVisited;
     Pruned += R.FiringsPruned;
   }
+  memstats::Snapshot Mem = memstats::read().delta(MemBefore);
   State.SetLabel(toString(Mode));
   State.counters["configs"] = benchmark::Counter(
       static_cast<double>(Configs), benchmark::Counter::kIsRate);
   State.counters["pruned"] = benchmark::Counter(
       static_cast<double>(Pruned), benchmark::Counter::kIsRate);
+  // Per-config snapshot traffic: a regression here (more bytes or cloned
+  // chunks per visited config) shows up even when wall-clock noise hides it.
+  if (Configs) {
+    State.counters["snapshotB/cfg"] = benchmark::Counter(
+        static_cast<double>(Mem.SnapshotBytes) / static_cast<double>(Configs));
+    State.counters["deepcopy/cfg"] = benchmark::Counter(
+        static_cast<double>(Mem.DeepCopies) / static_cast<double>(Configs));
+  }
 }
 BENCHMARK(BM_ExploreReduced)
     ->Arg(static_cast<int>(Reduction::None))

@@ -8,7 +8,7 @@ using namespace pushpull;
 
 OpacityReport pushpull::classifyTrace(const RuleTrace &T) {
   OpacityReport Out;
-  for (const TraceEvent &E : T.events()) {
+  for (const TraceEvent &E : T) {
     if (E.Rule != RuleKind::Pull)
       continue;
     ++Out.TotalPulls;

@@ -44,7 +44,7 @@ std::string RuleResult::toString() const {
   return Out;
 }
 
-RuleResult RuleResult::applied(RuleKind K, std::vector<CriterionReport> Rs) {
+RuleResult RuleResult::applied(RuleKind K, CriterionReports Rs) {
   RuleResult Out;
   Out.Rule = K;
   Out.Applied = true;
@@ -52,7 +52,7 @@ RuleResult RuleResult::applied(RuleKind K, std::vector<CriterionReport> Rs) {
   return Out;
 }
 
-RuleResult RuleResult::rejected(RuleKind K, std::vector<CriterionReport> Rs,
+RuleResult RuleResult::rejected(RuleKind K, CriterionReports Rs,
                                 std::string Msg) {
   RuleResult Out;
   Out.Rule = K;

@@ -18,10 +18,10 @@
 #ifndef PUSHPULL_CORE_CRITERIA_H
 #define PUSHPULL_CORE_CRITERIA_H
 
+#include "support/SmallVec.h"
 #include "support/Tri.h"
 
 #include <string>
-#include <vector>
 
 namespace pushpull {
 
@@ -49,12 +49,17 @@ struct CriterionReport {
   bool holds() const { return Verdict == Tri::Yes; }
 };
 
+/// The reports of one rule attempt.  No Figure 5 rule has more than four
+/// criteria, so the inline capacity makes a rejection allocation-free
+/// (rejections outnumber applications on every explored scope).
+using CriterionReports = SmallVec<CriterionReport, 4>;
+
 /// Result of attempting one rule.  When \c Applied is false the machine
 /// state was left unchanged; the reports say why.
 struct RuleResult {
   RuleKind Rule = RuleKind::App;
   bool Applied = false;
-  std::vector<CriterionReport> Criteria;
+  CriterionReports Criteria;
   /// Message for failures not attributable to a numbered criterion
   /// (e.g. "no such local-log entry").
   std::string Message;
@@ -65,8 +70,8 @@ struct RuleResult {
   /// Render for diagnostics.
   std::string toString() const;
 
-  static RuleResult applied(RuleKind K, std::vector<CriterionReport> Rs = {});
-  static RuleResult rejected(RuleKind K, std::vector<CriterionReport> Rs,
+  static RuleResult applied(RuleKind K, CriterionReports Rs = {});
+  static RuleResult rejected(RuleKind K, CriterionReports Rs,
                              std::string Msg = "");
   static RuleResult malformed(RuleKind K, std::string Msg);
 };

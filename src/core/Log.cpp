@@ -20,43 +20,39 @@ std::string pushpull::toString(LocalKind K) {
   return "?";
 }
 
-void LocalLog::truncate(size_t NewSize) {
-  assert(NewSize <= Entries.size() && "truncate growing a log");
-  Entries.resize(NewSize);
-}
-
-void LocalLog::removeAt(size_t I) {
-  assert(I < Entries.size() && "removeAt out of range");
-  Entries.erase(Entries.begin() + static_cast<ptrdiff_t>(I));
-}
-
 size_t LocalLog::indexOf(OpId Id) const {
-  for (size_t I = 0; I < Entries.size(); ++I)
-    if (Entries[I].Op.Id == Id)
+  size_t I = 0;
+  for (const LocalEntry &E : Chain) {
+    if (E.Op.Id == Id)
       return I;
+    ++I;
+  }
   return npos;
 }
 
 std::vector<Operation> LocalLog::ops() const {
   std::vector<Operation> Out;
-  Out.reserve(Entries.size());
-  for (const LocalEntry &E : Entries)
+  Out.reserve(Chain.size());
+  for (const LocalEntry &E : Chain)
     Out.push_back(E.Op);
   return Out;
 }
 
 std::vector<Operation> LocalLog::opsOmitting(size_t Omit) const {
   std::vector<Operation> Out;
-  Out.reserve(Entries.size());
-  for (size_t I = 0; I < Entries.size(); ++I)
+  Out.reserve(Chain.size());
+  size_t I = 0;
+  for (const LocalEntry &E : Chain) {
     if (I != Omit)
-      Out.push_back(Entries[I].Op);
+      Out.push_back(E.Op);
+    ++I;
+  }
   return Out;
 }
 
 std::vector<Operation> LocalLog::project(LocalKind K) const {
   std::vector<Operation> Out;
-  for (const LocalEntry &E : Entries)
+  for (const LocalEntry &E : Chain)
     if (E.Kind == K)
       Out.push_back(E.Op);
   return Out;
@@ -64,7 +60,7 @@ std::vector<Operation> LocalLog::project(LocalKind K) const {
 
 std::vector<Operation> LocalLog::ownOps() const {
   std::vector<Operation> Out;
-  for (const LocalEntry &E : Entries)
+  for (const LocalEntry &E : Chain)
     if (E.Kind != LocalKind::Pulled)
       Out.push_back(E.Op);
   return Out;
@@ -72,15 +68,18 @@ std::vector<Operation> LocalLog::ownOps() const {
 
 std::vector<size_t> LocalLog::indicesOf(LocalKind K) const {
   std::vector<size_t> Out;
-  for (size_t I = 0; I < Entries.size(); ++I)
-    if (Entries[I].Kind == K)
+  size_t I = 0;
+  for (const LocalEntry &E : Chain) {
+    if (E.Kind == K)
       Out.push_back(I);
+    ++I;
+  }
   return Out;
 }
 
 std::string LocalLog::toString() const {
   std::vector<std::string> Parts;
-  for (const LocalEntry &E : Entries)
+  for (const LocalEntry &E : Chain)
     Parts.push_back(E.Op.toString() + ":" + pushpull::toString(E.Kind));
   return "L[" + join(Parts, ", ") + "]";
 }
@@ -95,29 +94,27 @@ std::string pushpull::toString(GlobalKind K) {
   return "?";
 }
 
-void GlobalLog::removeAt(size_t I) {
-  assert(I < Entries.size() && "removeAt out of range");
-  Entries.erase(Entries.begin() + static_cast<ptrdiff_t>(I));
-}
-
 size_t GlobalLog::indexOf(OpId Id) const {
-  for (size_t I = 0; I < Entries.size(); ++I)
-    if (Entries[I].Op.Id == Id)
+  size_t I = 0;
+  for (const GlobalEntry &E : Chain) {
+    if (E.Op.Id == Id)
       return I;
+    ++I;
+  }
   return npos;
 }
 
 std::vector<Operation> GlobalLog::ops() const {
   std::vector<Operation> Out;
-  Out.reserve(Entries.size());
-  for (const GlobalEntry &E : Entries)
+  Out.reserve(Chain.size());
+  for (const GlobalEntry &E : Chain)
     Out.push_back(E.Op);
   return Out;
 }
 
 std::vector<Operation> GlobalLog::project(GlobalKind K) const {
   std::vector<Operation> Out;
-  for (const GlobalEntry &E : Entries)
+  for (const GlobalEntry &E : Chain)
     if (E.Kind == K)
       Out.push_back(E.Op);
   return Out;
@@ -125,7 +122,7 @@ std::vector<Operation> GlobalLog::project(GlobalKind K) const {
 
 std::vector<Operation> GlobalLog::minus(const LocalLog &L) const {
   std::vector<Operation> Out;
-  for (const GlobalEntry &E : Entries)
+  for (const GlobalEntry &E : Chain)
     if (!L.contains(E.Op.Id))
       Out.push_back(E.Op);
   return Out;
@@ -133,7 +130,7 @@ std::vector<Operation> GlobalLog::minus(const LocalLog &L) const {
 
 std::vector<Operation> GlobalLog::uncommittedNotIn(const LocalLog &L) const {
   std::vector<Operation> Out;
-  for (const GlobalEntry &E : Entries)
+  for (const GlobalEntry &E : Chain)
     if (E.Kind == GlobalKind::Uncommitted && !L.contains(E.Op.Id))
       Out.push_back(E.Op);
   return Out;
@@ -141,28 +138,34 @@ std::vector<Operation> GlobalLog::uncommittedNotIn(const LocalLog &L) const {
 
 std::vector<Operation> GlobalLog::uncommittedNotOwnedBy(TxId T) const {
   std::vector<Operation> Out;
-  for (const GlobalEntry &E : Entries)
+  for (const GlobalEntry &E : Chain)
     if (E.Kind == GlobalKind::Uncommitted && E.Owner != T)
       Out.push_back(E.Op);
   return Out;
 }
 
 bool GlobalLog::containsAll(const LocalLog &L) const {
-  for (const LocalEntry &E : L.entries())
+  for (const LocalEntry &E : L)
     if (!contains(E.Op.Id))
       return false;
   return true;
 }
 
 void GlobalLog::commitOwned(const LocalLog &L) {
-  for (GlobalEntry &E : Entries)
-    if (L.contains(E.Op.Id))
-      E.Kind = GlobalKind::Committed;
+  // Scan first, then flip: mutableAt clones any shared chunk on the path,
+  // so batching the reads keeps the common "nothing of ours is here"
+  // probes from deep-copying anything.
+  size_t I = 0;
+  for (const GlobalEntry &E : Chain) {
+    if (E.Kind != GlobalKind::Committed && L.contains(E.Op.Id))
+      Chain.mutableAt(I).Kind = GlobalKind::Committed;
+    ++I;
+  }
 }
 
 std::string GlobalLog::toString() const {
   std::vector<std::string> Parts;
-  for (const GlobalEntry &E : Entries)
+  for (const GlobalEntry &E : Chain)
     Parts.push_back(E.Op.toString() + ":" + pushpull::toString(E.Kind) +
                     "@t" + std::to_string(E.Owner));
   return "G[" + join(Parts, ", ") + "]";

@@ -22,6 +22,14 @@
 /// transformer cmt(G1, L1, G2).  All membership is by operation id
 /// ("notations are lifted to lists where equality is given by ids").
 ///
+/// Both logs are backed by refcounted copy-on-write chunk chains
+/// (support/Cow.h): copying a log — which the explorer does once per
+/// emitted successor, inside a whole-machine copy — is one atomic
+/// increment, and appends go in place whenever the owning machine is the
+/// only one referencing the head chunk (the sequential-scheduler case).
+/// entries() returns the log itself, which iterates like the vector it
+/// used to be, so combinators and call sites read naturally.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PUSHPULL_CORE_LOG_H
@@ -29,6 +37,7 @@
 
 #include "core/Op.h"
 #include "lang/Ast.h"
+#include "support/Cow.h"
 
 #include <vector>
 
@@ -56,15 +65,21 @@ struct LocalEntry {
 /// A thread's local log L.
 class LocalLog {
 public:
-  bool empty() const { return Entries.empty(); }
-  size_t size() const { return Entries.size(); }
-  const LocalEntry &operator[](size_t I) const { return Entries[I]; }
-  const std::vector<LocalEntry> &entries() const { return Entries; }
+  using const_iterator = CowChain<LocalEntry, 4>::const_iterator;
 
-  void append(LocalEntry E) { Entries.push_back(std::move(E)); }
-  void truncate(size_t NewSize);
-  void removeAt(size_t I);
-  void setKind(size_t I, LocalKind K) { Entries[I].Kind = K; }
+  bool empty() const { return Chain.empty(); }
+  size_t size() const { return Chain.size(); }
+  const LocalEntry &operator[](size_t I) const { return Chain[I]; }
+  const_iterator begin() const { return Chain.begin(); }
+  const_iterator end() const { return Chain.end(); }
+  /// The entries as an iterable range (the log itself; historically this
+  /// returned the backing vector).
+  const LocalLog &entries() const { return *this; }
+
+  void append(LocalEntry E) { Chain.push(std::move(E)); }
+  void truncate(size_t NewSize) { Chain.truncate(NewSize); }
+  void removeAt(size_t I) { Chain.removeAt(I); }
+  void setKind(size_t I, LocalKind K) { Chain.mutableAt(I).Kind = K; }
 
   /// Index of the entry with operation id \p Id, or npos.
   size_t indexOf(OpId Id) const;
@@ -91,7 +106,7 @@ public:
   std::string toString() const;
 
 private:
-  std::vector<LocalEntry> Entries;
+  CowChain<LocalEntry, 4> Chain;
 };
 
 /// Global-log flag: g ::= gUCmt | gCmt.
@@ -115,13 +130,18 @@ struct GlobalEntry {
 /// The shared log G.
 class GlobalLog {
 public:
-  bool empty() const { return Entries.empty(); }
-  size_t size() const { return Entries.size(); }
-  const GlobalEntry &operator[](size_t I) const { return Entries[I]; }
-  const std::vector<GlobalEntry> &entries() const { return Entries; }
+  using const_iterator = CowChain<GlobalEntry, 4>::const_iterator;
 
-  void append(GlobalEntry E) { Entries.push_back(std::move(E)); }
-  void removeAt(size_t I);
+  bool empty() const { return Chain.empty(); }
+  size_t size() const { return Chain.size(); }
+  const GlobalEntry &operator[](size_t I) const { return Chain[I]; }
+  const_iterator begin() const { return Chain.begin(); }
+  const_iterator end() const { return Chain.end(); }
+  /// The entries as an iterable range (see LocalLog::entries).
+  const GlobalLog &entries() const { return *this; }
+
+  void append(GlobalEntry E) { Chain.push(std::move(E)); }
+  void removeAt(size_t I) { Chain.removeAt(I); }
 
   size_t indexOf(OpId Id) const;
   static constexpr size_t npos = static_cast<size_t>(-1);
@@ -158,7 +178,7 @@ public:
   std::string toString() const;
 
 private:
-  std::vector<GlobalEntry> Entries;
+  CowChain<GlobalEntry, 4> Chain;
 };
 
 } // namespace pushpull

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace pushpull;
 
@@ -33,8 +34,7 @@ void PushPullMachine::queueTransactionsFront(
   for (size_t I = Transactions.size(); I > 0; --I) {
     CodePtr C = Transactions[I - 1];
     assert(C && "null transaction body");
-    Th.Pending.insert(Th.Pending.begin(),
-                      C->kind() == CodeKind::Tx ? C->body() : C);
+    Th.Pending.insertFront(C->kind() == CodeKind::Tx ? C->body() : C);
   }
 }
 
@@ -53,7 +53,7 @@ bool PushPullMachine::beginTx(TxId T) {
   if (Th.InTx || Th.Pending.empty())
     return false;
   Th.Code = Th.Pending.front();
-  Th.Pending.erase(Th.Pending.begin());
+  Th.Pending.eraseFront();
   Th.OrigCode = Th.Code;
   Th.OrigSigma = Th.Sigma;
   Th.InTx = true;
@@ -61,26 +61,38 @@ bool PushPullMachine::beginTx(TxId T) {
   return true;
 }
 
+void PushPullMachine::noteCriterion(CriterionReports &Rs, const char *Name,
+                                    Tri V, const char *Detail) const {
+  // A clean pass is pure bookkeeping: nothing on the hot path reads it, so
+  // it is only materialized when the configuration records audits.  Failing
+  // and Unknown reports are always kept — firstFailure() and the tests'
+  // failedOn() are defined by them.
+  if (V == Tri::Yes && !Config.RecordAudit)
+    return;
+  Rs.push_back(criterion(Name, V, Detail));
+}
+
 template <typename Fn>
-CriterionReport PushPullMachine::evalCriterion(const std::string &Name,
-                                               Fn &&Thunk,
-                                               const std::string &Detail)
-    const {
-  if (!Config.DisabledCriterion.empty() && Name == Config.DisabledCriterion) {
+void PushPullMachine::evalCriterion(CriterionReports &Rs, const char *Name,
+                                    Fn &&Thunk, const char *Detail) const {
+  if (!Config.DisabledCriterion.empty() && Config.DisabledCriterion == Name) {
     // Fault injection for the fuzzer's self-test: pretend the criterion
     // holds.  See MachineConfig::DisabledCriterion.
-    return criterion(Name, Tri::Yes, "disabled by test hook");
+    if (Config.RecordAudit)
+      Rs.push_back(criterion(Name, Tri::Yes, "disabled by test hook"));
+    return;
   }
   if (Config.Level == ValidationLevel::Trusting) {
     // Trusting mode does not spend time on the semantic criteria; report
     // them as unchecked-but-accepted.
-    return criterion(Name, Tri::Yes, "unchecked (trusting mode)");
+    if (Config.RecordAudit)
+      Rs.push_back(criterion(Name, Tri::Yes, "unchecked (trusting mode)"));
+    return;
   }
-  return criterion(Name, Thunk(), Detail);
+  noteCriterion(Rs, Name, Thunk(), Detail);
 }
 
-bool PushPullMachine::reportsPass(
-    const std::vector<CriterionReport> &Rs) const {
+bool PushPullMachine::reportsPass(const CriterionReports &Rs) const {
   for (const CriterionReport &R : Rs) {
     if (R.Verdict == Tri::No)
       return false;
@@ -92,7 +104,7 @@ bool PushPullMachine::reportsPass(
 
 void PushPullMachine::recordAudit(TxId T, const Operation *Op,
                                   const RuleResult &R) {
-  if (!Config.KeepAudit)
+  if (!Config.RecordAudit)
     return;
   AuditEntry E;
   E.Tid = T;
@@ -115,15 +127,20 @@ std::string PushPullMachine::auditToString() const {
 
 void PushPullMachine::recordEvent(TxId T, RuleKind K, const Operation *Op,
                                   bool PulledUncommitted) {
-  TraceEvent E;
-  E.Tid = T;
-  E.Rule = K;
-  if (Op) {
-    E.Id = Op->Id;
-    E.OpText = Op->toString();
+  if (Config.RecordTrace) {
+    TraceEvent E;
+    E.Tid = T;
+    E.Rule = K;
+    if (Op) {
+      E.Id = Op->Id;
+      // The rendered text is a per-event heap string nothing on the hot
+      // path reads; trace printing falls back to "#id" without it.
+      if (Config.RecordAudit)
+        E.OpText = Op->toString();
+    }
+    E.PulledUncommitted = PulledUncommitted;
+    Trace.record(std::move(E));
   }
-  E.PulledUncommitted = PulledUncommitted;
-  Trace.record(std::move(E));
   // recordEvent runs after the rule's mutation is complete, so this is
   // the "after every rule firing" point differential checkers hook.
   if (Config.OnRuleApplied)
@@ -161,12 +178,13 @@ StateSetId PushPullMachine::localViewId(const ThreadState &Th) const {
 StateSetId PushPullMachine::globalViewId(const Operation *Extra,
                                          size_t OmitIdx) const {
   StateSetId S = Spec->initialId();
-  for (size_t I = 0; I < G.size(); ++I) {
-    if (I == OmitIdx)
+  size_t I = 0;
+  for (const GlobalEntry &E : G.entries()) {
+    if (I++ == OmitIdx)
       continue;
     if (S == StateTable::EmptySetId)
       return S;
-    S = Spec->applyOpId(S, G[I].Op);
+    S = Spec->applyOpId(S, E.Op);
   }
   if (Extra && S != StateTable::EmptySetId)
     S = Spec->applyOpId(S, *Extra);
@@ -179,7 +197,7 @@ std::vector<AppChoice> PushPullMachine::appChoices(TxId T) const {
   if (!Th.InTx)
     return Out;
   const StateSet &View = Spec->setOf(localViewId(Th));
-  std::vector<StepItem> Steps = step(Th.Code);
+  const std::vector<StepItem> &Steps = step(Th.Code);
   for (size_t I = 0; I < Steps.size(); ++I) {
     auto Call = Steps[I].Call.resolve(Th.Sigma);
     if (!Call)
@@ -188,7 +206,7 @@ std::vector<AppChoice> PushPullMachine::appChoices(TxId T) const {
     C.Completions = Spec->completionsFrom(View, *Call);
     if (C.Completions.empty())
       continue; // Method not allowed under the local view at all.
-    C.Item = std::move(Steps[I]);
+    C.Item = Steps[I];
     C.StepIdx = I;
     Out.push_back(std::move(C));
   }
@@ -200,7 +218,7 @@ RuleResult PushPullMachine::app(TxId T, size_t StepIdx, size_t CompIdx) {
   if (!Th.InTx)
     return RuleResult::malformed(RuleKind::App, "no transaction in progress");
 
-  std::vector<StepItem> Steps = step(Th.Code);
+  const std::vector<StepItem> &Steps = step(Th.Code);
   if (StepIdx >= Steps.size())
     return RuleResult::malformed(RuleKind::App, "step choice out of range");
   const StepItem &It = Steps[StepIdx];
@@ -214,18 +232,17 @@ RuleResult PushPullMachine::app(TxId T, size_t StepIdx, size_t CompIdx) {
   // by drawing the completion from the local view's allowed completions.
   const StateSet &View = Spec->setOf(localViewId(Th));
   std::vector<Completion> Comps = Spec->completionsFrom(View, *Call);
-  std::vector<CriterionReport> Rs;
-  Rs.reserve(4);
-  Rs.push_back(criterion("APP criterion (i)", Tri::Yes,
-                         "(m, c') drawn from step(c)"));
+  CriterionReports Rs;
+  noteCriterion(Rs, "APP criterion (i)", Tri::Yes,
+                "(m, c') drawn from step(c)");
   if (CompIdx >= Comps.size()) {
-    Rs.push_back(criterion("APP criterion (ii)", Tri::No,
-                           "local log does not allow the operation (no "
-                           "such completion)"));
+    noteCriterion(Rs, "APP criterion (ii)", Tri::No,
+                  "local log does not allow the operation (no "
+                  "such completion)");
     return RuleResult::rejected(RuleKind::App, std::move(Rs));
   }
-  Rs.push_back(criterion("APP criterion (ii)", Tri::Yes,
-                         "completion allowed by the local log"));
+  noteCriterion(Rs, "APP criterion (ii)", Tri::Yes,
+                "completion allowed by the local log");
 
   Operation Op;
   Op.Call = *Call;
@@ -236,8 +253,9 @@ RuleResult PushPullMachine::app(TxId T, size_t StepIdx, size_t CompIdx) {
     Post.set(*It.Call.ResultVar, *Op.Result);
   Op.Post = Post;
   Op.Id = Ids.fresh();
-  Rs.push_back(criterion("APP criterion (iii)", Tri::Yes,
-                         "id #" + std::to_string(Op.Id) + " is fresh"));
+  if (Config.RecordAudit)
+    Rs.push_back(criterion("APP criterion (iii)", Tri::Yes,
+                           "id #" + std::to_string(Op.Id) + " is fresh"));
 
   LocalEntry E;
   E.Op = Op;
@@ -295,8 +313,7 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
                                    "entry is not npshd")});
   const Operation &Op = E.Op;
 
-  std::vector<CriterionReport> Rs;
-  Rs.reserve(4);
+  CriterionReports Rs;
 
   // PUSH criterion (i): op can move to the left of every unpushed
   // operation that precedes it in the local log ("publish op as if it was
@@ -304,10 +321,12 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
   // When operations are pushed in the order they were applied this is
   // vacuous, which is the paper's remark that existing implementations
   // satisfy it trivially; it bites only for out-of-order pushes (Sec. 7).
-  Rs.push_back(evalCriterion("PUSH criterion (i)", [&] {
+  evalCriterion(Rs, "PUSH criterion (i)", [&] {
     Tri V = Tri::Yes;
-    for (size_t I = 0; I < LocalIdx; ++I) {
-      const LocalEntry &U = Th.L[I];
+    size_t I = 0;
+    for (const LocalEntry &U : Th.L.entries()) {
+      if (I++ >= LocalIdx)
+        break;
       if (U.Kind != LocalKind::NotPushed)
         continue;
       V = triAnd(V, Movers->leftMover(Op, U.Op));
@@ -315,7 +334,7 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
         break;
     }
     return V;
-  }));
+  });
 
   // PUSH criterion (ii): every uncommitted operation of *another*
   // transaction in G can move to the right of op (x <| op).  "Another
@@ -324,7 +343,7 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
   // pull, publish around, unpull, and commit before its dependency,
   // breaking the owner's I_slideR (Lemma 5.8) and with it the commit-order
   // serialization witness.
-  Rs.push_back(evalCriterion("PUSH criterion (ii)", [&] {
+  evalCriterion(Rs, "PUSH criterion (ii)", [&] {
     Tri V = Tri::Yes;
     for (const GlobalEntry &GE : G.entries()) {
       if (GE.Kind != GlobalKind::Uncommitted || GE.Owner == T)
@@ -334,21 +353,23 @@ RuleResult PushPullMachine::push(TxId T, size_t LocalIdx) {
         break;
     }
     return V;
-  }));
+  });
 
   // PUSH criterion (iii): G . op is allowed by the sequential spec.
-  Rs.push_back(evalCriterion("PUSH criterion (iii)", [&] {
+  evalCriterion(Rs, "PUSH criterion (iii)", [&] {
     return triOf(globalViewId(&Op) != StateTable::EmptySetId);
-  }));
+  });
 
   if (!reportsPass(Rs))
     return RuleResult::rejected(RuleKind::Push, std::move(Rs));
 
-  Th.L.setKind(LocalIdx, LocalKind::Pushed);
+  // Build the global entry before setKind: the CoW flag flip may clone the
+  // chunk holding E, and Op must be read from the original.
   GlobalEntry GE;
   GE.Op = Op;
   GE.Kind = GlobalKind::Uncommitted;
   GE.Owner = T;
+  Th.L.setKind(LocalIdx, LocalKind::Pushed);
   G.append(std::move(GE));
 
   recordEvent(T, RuleKind::Push, &Op);
@@ -370,7 +391,8 @@ RuleResult PushPullMachine::unpush(TxId T, size_t LocalIdx) {
     return RuleResult::rejected(
         RuleKind::UnPush, {criterion("UNPUSH flag check", Tri::No,
                                      "entry is not pshd")});
-  const Operation &Op = E.Op;
+  // Copy: the setKind below may clone the chunk that holds E.
+  Operation Op = E.Op;
 
   size_t GIdx = G.indexOf(Op.Id);
   if (GIdx == GlobalLog::npos)
@@ -381,33 +403,35 @@ RuleResult PushPullMachine::unpush(TxId T, size_t LocalIdx) {
         RuleKind::UnPush, {criterion("UNPUSH uncommitted check", Tri::No,
                                      "cannot unpush a committed operation")});
 
-  std::vector<CriterionReport> Rs;
-  Rs.reserve(4);
+  CriterionReports Rs;
 
   // UNPUSH criterion (i) (gray: "not strictly necessary because we can
   // prove that it must hold whenever an UNPUSH occurs"): nothing pushed
   // after op depends on it — op can move right past every later entry of
   // other transactions.
   if (Config.EnforceGrayCriteria) {
-    Rs.push_back(evalCriterion("UNPUSH criterion (i)", [&] {
+    evalCriterion(Rs, "UNPUSH criterion (i)", [&] {
       Tri V = Tri::Yes;
-      for (size_t I = GIdx + 1; I < G.size(); ++I) {
-        if (Th.L.contains(G[I].Op.Id))
+      size_t I = 0;
+      for (const GlobalEntry &Later : G.entries()) {
+        if (I++ <= GIdx)
           continue;
-        V = triAnd(V, Movers->leftMover(Op, G[I].Op));
+        if (Th.L.contains(Later.Op.Id))
+          continue;
+        V = triAnd(V, Movers->leftMover(Op, Later.Op));
         if (V == Tri::No)
           break;
       }
       return V;
-    }));
+    });
   }
 
   // UNPUSH criterion (ii): everything pushed chronologically after op
   // could still have been pushed had op not been — i.e. G with op removed
   // is still allowed.
-  Rs.push_back(evalCriterion("UNPUSH criterion (ii)", [&] {
+  evalCriterion(Rs, "UNPUSH criterion (ii)", [&] {
     return triOf(globalViewId(nullptr, GIdx) != StateTable::EmptySetId);
-  }));
+  });
 
   if (!reportsPass(Rs))
     return RuleResult::rejected(RuleKind::UnPush, std::move(Rs));
@@ -431,25 +455,23 @@ RuleResult PushPullMachine::pull(TxId T, size_t GlobalIdx) {
   const GlobalEntry &GE = G[GlobalIdx];
   const Operation &Op = GE.Op;
 
-  std::vector<CriterionReport> Rs;
-  Rs.reserve(4);
+  CriterionReports Rs;
 
   // PULL criterion (i): op was not pulled (or pushed) before.
-  Rs.push_back(criterion("PULL criterion (i)",
-                         triOf(!Th.L.contains(Op.Id)),
-                         "operation must not already be in L"));
+  noteCriterion(Rs, "PULL criterion (i)", triOf(!Th.L.contains(Op.Id)),
+                "operation must not already be in L");
 
   // PULL criterion (ii): the local log allows op.
-  Rs.push_back(evalCriterion("PULL criterion (ii)", [&] {
+  evalCriterion(Rs, "PULL criterion (ii)", [&] {
     return triOf(Spec->applyOpId(localViewId(Th), Op) !=
                  StateTable::EmptySetId);
-  }));
+  });
 
   // PULL criterion (iii) (gray): everything the transaction has done
   // locally can move to the right of op, so it can behave as if the pulled
   // effect preceded it.
   if (Config.EnforceGrayCriteria) {
-    Rs.push_back(evalCriterion("PULL criterion (iii)", [&] {
+    evalCriterion(Rs, "PULL criterion (iii)", [&] {
       Tri V = Tri::Yes;
       for (const LocalEntry &E : Th.L.entries()) {
         if (E.Kind == LocalKind::Pulled)
@@ -459,7 +481,7 @@ RuleResult PushPullMachine::pull(TxId T, size_t GlobalIdx) {
           break;
       }
       return V;
-    }));
+    });
   }
 
   if (!reportsPass(Rs))
@@ -492,18 +514,22 @@ RuleResult PushPullMachine::unpull(TxId T, size_t LocalIdx) {
                                      "entry is not pld")});
   Operation Op = E.Op;
 
-  std::vector<CriterionReport> Rs;
-  Rs.reserve(4);
+  CriterionReports Rs;
 
   // UNPULL criterion (i): the local log is allowed without op (the
   // transaction did nothing that depended on it).
-  Rs.push_back(evalCriterion("UNPULL criterion (i)", [&] {
+  evalCriterion(Rs, "UNPULL criterion (i)", [&] {
     StateSetId S = Spec->initialId();
-    for (size_t I = 0; I < Th.L.size() && S != StateTable::EmptySetId; ++I)
-      if (I != LocalIdx)
-        S = Spec->applyOpId(S, Th.L[I].Op);
+    size_t I = 0;
+    for (const LocalEntry &Rest : Th.L.entries()) {
+      if (I++ == LocalIdx)
+        continue;
+      if (S == StateTable::EmptySetId)
+        break;
+      S = Spec->applyOpId(S, Rest.Op);
+    }
     return triOf(S != StateTable::EmptySetId);
-  }));
+  });
 
   if (!reportsPass(Rs))
     return RuleResult::rejected(RuleKind::UnPull, std::move(Rs));
@@ -523,12 +549,11 @@ RuleResult PushPullMachine::commit(TxId T) {
     return RuleResult::malformed(RuleKind::Commit,
                                  "no transaction in progress");
 
-  std::vector<CriterionReport> Rs;
-  Rs.reserve(4);
+  CriterionReports Rs;
 
   // CMT criterion (i): there is a path through the remaining code to skip.
-  Rs.push_back(criterion("CMT criterion (i)", triOf(fin(Th.Code)),
-                         "fin(c) must hold"));
+  noteCriterion(Rs, "CMT criterion (i)", triOf(fin(Th.Code)),
+                "fin(c) must hold");
 
   // CMT criterion (ii): L c= G — all own operations have been pushed (and
   // no pulled operation has vanished from G via its owner's UNPUSH).
@@ -540,31 +565,36 @@ RuleResult PushPullMachine::commit(TxId T) {
         break;
       }
     bool Contained = G.containsAll(Th.L);
-    Rs.push_back(criterion(
-        "CMT criterion (ii)", triOf(AllPushed && Contained),
+    noteCriterion(
+        Rs, "CMT criterion (ii)", triOf(AllPushed && Contained),
         AllPushed ? (Contained ? "" : "a pulled operation is no longer in G")
-                  : "unpushed operations remain in L"));
+                  : "unpushed operations remain in L");
   }
 
   // CMT criterion (iii): every pulled operation is committed in G.
-  Rs.push_back(criterion("CMT criterion (iii)", [&] {
+  noteCriterion(Rs, "CMT criterion (iii)", [&] {
     for (const LocalEntry &E : Th.L.entries()) {
       if (E.Kind != LocalKind::Pulled)
         continue;
-      size_t GI = G.indexOf(E.Op.Id);
-      if (GI == GlobalLog::npos || G[GI].Kind != GlobalKind::Committed)
+      bool CommittedInG = false;
+      for (const GlobalEntry &GE : G.entries())
+        if (GE.Op.Id == E.Op.Id) {
+          CommittedInG = GE.Kind == GlobalKind::Committed;
+          break;
+        }
+      if (!CommittedInG)
         return Tri::No;
     }
     return Tri::Yes;
-  }(), "pulled operations must belong to committed transactions"));
+  }(), "pulled operations must belong to committed transactions");
 
   if (!reportsPass(Rs))
     return RuleResult::rejected(RuleKind::Commit, std::move(Rs));
 
   // CMT criterion (iv): G2 = cmt(G1, L1, G2) — flip own entries to gCmt.
   G.commitOwned(Th.L);
-  Rs.push_back(criterion("CMT criterion (iv)", Tri::Yes,
-                         "own global entries marked gCmt"));
+  noteCriterion(Rs, "CMT criterion (iv)", Tri::Yes,
+                "own global entries marked gCmt");
 
   CommittedTx Rec;
   Rec.Tid = T;
@@ -573,6 +603,7 @@ RuleResult PushPullMachine::commit(TxId T) {
   Rec.FinalSigma = Th.Sigma;
   Rec.CommitSeq = CommitSeq++;
   Committed.push_back(std::move(Rec));
+  CommittedKeyCache.reset();
 
   Th.InTx = false;
   Th.Code = nullptr;
@@ -587,92 +618,176 @@ RuleResult PushPullMachine::commit(TxId T) {
   return Out;
 }
 
+namespace {
+
+/// Fixed-width little-endian field appenders for configKey.  Binary fields
+/// are only ever emitted where the decoder position is unambiguous (after a
+/// count prefix or at a fixed offset), so stray separator-looking bytes
+/// inside them cannot create collisions.
+inline void key32(std::string &Out, uint32_t V) {
+  char B[4];
+  std::memcpy(B, &V, 4);
+  Out.append(B, 4);
+}
+
+inline void key64(std::string &Out, uint64_t V) {
+  char B[8];
+  std::memcpy(B, &V, 8);
+  Out.append(B, 8);
+}
+
+inline void keyStack(std::string &Out, const Stack &S) {
+  key32(Out, static_cast<uint32_t>(S.size()));
+  for (const auto &[Var, Val] : S.entries()) {
+    Out += Var; // Identifier text: never contains NUL.
+    Out.push_back('\0');
+    key64(Out, static_cast<uint64_t>(Val));
+  }
+}
+
+/// One thread's key section: {c, sigma, L, |Pending|}.  Label-independent
+/// — thread identity enters the key only through section order and the
+/// G-section owner labels — so the symmetry minimization renders each
+/// section once and reassembles per permutation.
+void renderThreadKey(std::string &Out, StateTable &Table,
+                     const ThreadState &Th, const SmallVec<OpId, 16> &GIds) {
+  auto gIndexOf = [&GIds](OpId Id) -> uint32_t {
+    for (size_t I = 0; I < GIds.size(); ++I)
+      if (GIds[I] == Id)
+        return static_cast<uint32_t>(I);
+    return UINT32_MAX;
+  };
+  if (Th.InTx) {
+    Out += 'T';
+    Out += Th.Code->printed(); // Program text: never contains NUL.
+    Out.push_back('\0');
+  } else {
+    Out += 'i';
+  }
+  keyStack(Out, Th.Sigma);
+  key32(Out, static_cast<uint32_t>(Th.L.size()));
+  for (const LocalEntry &E : Th.L.entries()) {
+    key32(Out, Table.opKey(E.Op));
+    Out += E.Kind == LocalKind::NotPushed ? 'n'
+           : E.Kind == LocalKind::Pushed  ? 'p'
+                                          : 'd';
+    // Position of this op in G links L and G structurally.
+    key32(Out, gIndexOf(E.Op.Id));
+  }
+  key32(Out, static_cast<uint32_t>(Th.Pending.size()));
+}
+
+} // namespace
+
 std::string PushPullMachine::configKey(const std::vector<TxId> *LabelOf) const {
   // Operations are rendered by their interned (Call, Result) key id:
   // id equality is exactly canonical-text equality, so the key partitions
-  // configurations the same way the fully textual rendering would, at a
-  // fraction of the cost (this runs once per explored successor).
+  // configurations the same way a fully textual rendering would.  All
+  // variable-length sections are count-prefixed, which keeps the encoding
+  // injective without any decimal formatting (this runs once per explored
+  // successor; the string machinery used to dominate exploration).
   StateTable &Table = Spec->table();
+  // One G sweep up front: the entry ids double as the L->G link table,
+  // turning per-local-entry G.indexOf chain walks into probes of a
+  // contiguous array.
+  SmallVec<OpId, 16> GIds;
+  for (const GlobalEntry &E : G.entries())
+    GIds.push_back(E.Op.Id);
   std::string Out;
-  Out.reserve(64 + 32 * Threads.size() + 12 * G.size());
-  auto renderThread = [&](const ThreadState &Th) {
-    if (Th.InTx) {
-      Out += "T:";
-      Out += Th.Code->printed();
-    } else {
-      Out += "idle";
-    }
-    Out += '\x01';
-    for (const auto &[Var, Val] : Th.Sigma.entries()) {
-      Out += Var;
-      Out += '>';
-      Out += std::to_string(Val);
-      Out += ',';
-    }
-    Out += '\x01';
-    for (const LocalEntry &E : Th.L.entries()) {
-      Out += std::to_string(Table.opKey(E.Op));
-      switch (E.Kind) {
-      case LocalKind::NotPushed:
-        Out += 'n';
-        break;
-      case LocalKind::Pushed:
-        Out += 'p';
-        break;
-      case LocalKind::Pulled:
-        Out += 'd';
-        break;
-      }
-      // Position of this op in G links L and G structurally.
-      size_t GI = G.indexOf(E.Op.Id);
-      if (GI == GlobalLog::npos)
-        Out += '-';
-      else
-        Out += std::to_string(GI);
-      Out += ';';
-    }
-    Out += std::to_string(Th.Pending.size());
-    Out += '\x02';
-  };
+  Out.reserve(64 + 48 * Threads.size() + 9 * GIds.size());
   if (!LabelOf) {
     for (const ThreadState &Th : Threads)
-      renderThread(Th);
+      renderThreadKey(Out, Table, Th, GIds);
   } else {
     // Slot l holds the thread relabeled to l.
-    std::vector<size_t> AtLabel(Threads.size());
+    SmallVec<uint32_t, 8> AtLabel;
+    AtLabel.resize(Threads.size());
     for (size_t T = 0; T < Threads.size(); ++T)
-      AtLabel[(*LabelOf)[T]] = T;
+      AtLabel[(*LabelOf)[T]] = static_cast<uint32_t>(T);
     for (size_t L = 0; L < AtLabel.size(); ++L)
-      renderThread(Threads[AtLabel[L]]);
+      renderThreadKey(Out, Table, Threads[AtLabel[L]], GIds);
   }
+  key32(Out, static_cast<uint32_t>(GIds.size()));
   for (const GlobalEntry &E : G.entries()) {
-    Out += std::to_string(Table.opKey(E.Op));
+    key32(Out, Table.opKey(E.Op));
     Out += E.Kind == GlobalKind::Committed ? 'C' : 'U';
-    Out += std::to_string(LabelOf ? (*LabelOf)[E.Owner] : E.Owner);
-    Out += ';';
+    key32(Out, LabelOf ? (*LabelOf)[E.Owner] : E.Owner);
   }
-  // Committed-transaction content, in commit order and tid-free: the
-  // oracle replays these otx bodies and demands the recorded final stacks,
-  // so its verdict is a function of this section.
-  for (const CommittedTx &C : Committed) {
-    Out += '\x03';
-    Out += C.Body->printed();
-    Out += '\x01';
-    for (const auto &[Var, Val] : C.Sigma.entries()) {
-      Out += Var;
-      Out += '>';
-      Out += std::to_string(Val);
-      Out += ',';
-    }
-    Out += '\x01';
-    for (const auto &[Var, Val] : C.FinalSigma.entries()) {
-      Out += Var;
-      Out += '>';
-      Out += std::to_string(Val);
-      Out += ',';
-    }
-  }
+  appendCommittedKey(Out);
   return Out;
+}
+
+/// Append the committed-content section (see configKey).  It is
+/// relabeling-invariant and only ever extended by CMT, so it is rendered
+/// once per commit and shared across copies (under symmetry every
+/// permutation re-reads it, and the explorer calls configKey far more
+/// often than it commits).
+void PushPullMachine::appendCommittedKey(std::string &Out) const {
+  if (Committed.view().empty())
+    return;
+  if (!CommittedKeyCache) {
+    std::string C;
+    for (const CommittedTx &Ct : Committed) {
+      C += '\x03';
+      C += Ct.Body->printed();
+      C.push_back('\0');
+      keyStack(C, Ct.Sigma);
+      keyStack(C, Ct.FinalSigma);
+    }
+    CommittedKeyCache = std::make_shared<const std::string>(std::move(C));
+  }
+  Out += *CommittedKeyCache;
+}
+
+std::string PushPullMachine::configKeyCanonical(
+    const std::vector<std::vector<TxId>> &Perms, size_t &BestPerm) const {
+  // The thread sections and the G entries' (opKey, kind) prefix are
+  // label-independent; only the section order and the G owner labels vary
+  // across the symmetry group.  Render every invariant piece once, then
+  // assemble one candidate per permutation — the assembly is pure memcpy
+  // against a full re-render per permutation.
+  StateTable &Table = Spec->table();
+  SmallVec<OpId, 16> GIds;
+  SmallVec<uint32_t, 16> GOpKeys;
+  for (const GlobalEntry &E : G.entries()) {
+    GIds.push_back(E.Op.Id);
+    GOpKeys.push_back(Table.opKey(E.Op));
+  }
+  SmallVec<std::string, 4> Sections;
+  for (const ThreadState &Th : Threads) {
+    std::string S;
+    S.reserve(48);
+    renderThreadKey(S, Table, Th, GIds);
+    Sections.push_back(std::move(S));
+  }
+
+  std::string Best, Cur;
+  BestPerm = 0;
+  SmallVec<uint32_t, 8> AtLabel;
+  AtLabel.resize(Threads.size());
+  for (size_t Pi = 0; Pi < Perms.size(); ++Pi) {
+    const std::vector<TxId> &LabelOf = Perms[Pi];
+    for (size_t T = 0; T < Threads.size(); ++T)
+      AtLabel[LabelOf[T]] = static_cast<uint32_t>(T);
+    Cur.clear();
+    Cur.reserve(Best.empty() ? 64 + 48 * Threads.size() + 9 * GIds.size()
+                             : Best.size());
+    for (size_t L = 0; L < AtLabel.size(); ++L)
+      Cur += Sections[AtLabel[L]];
+    key32(Cur, static_cast<uint32_t>(GIds.size()));
+    size_t I = 0;
+    for (const GlobalEntry &E : G.entries()) {
+      key32(Cur, GOpKeys[I++]);
+      Cur += E.Kind == GlobalKind::Committed ? 'C' : 'U';
+      key32(Cur, LabelOf[E.Owner]);
+    }
+    if (Pi == 0 || Cur < Best) {
+      std::swap(Best, Cur);
+      BestPerm = Pi;
+    }
+  }
+  appendCommittedKey(Best);
+  return Best;
 }
 
 RuleFootprint pushpull::ruleFootprint(RuleKind K) {

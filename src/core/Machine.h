@@ -44,6 +44,8 @@
 #include "core/Spec.h"
 #include "core/Trace.h"
 #include "lang/StepFin.h"
+#include "support/Arena.h"
+#include "support/Cow.h"
 
 #include <functional>
 #include <string>
@@ -76,10 +78,21 @@ struct MachineConfig {
   bool EnforceGrayCriteria = true;
   /// Treat Tri::Unknown criterion verdicts as failures (sound default).
   bool UnknownIsFailure = true;
-  /// Keep every *applied* rule's full RuleResult (criterion-by-criterion
-  /// verdicts) in an audit log — the machine-checked analogue of the
-  /// paper's per-rule proof obligations.  Off by default (memory).
-  bool KeepAudit = false;
+  /// Record the discharge bookkeeping nothing on the hot path reads: the
+  /// audit log of every *applied* rule's full RuleResult (the
+  /// machine-checked analogue of the paper's per-rule proof obligations),
+  /// the *passing* criterion reports of rule attempts (failing reports are
+  /// always kept — firstFailure() must work), and the per-event operation
+  /// text in the trace.  Off by default and during exploration and
+  /// fuzzing, where none of it is consumed; Scenario runs switch it on for
+  /// their discharge logs.
+  bool RecordAudit = false;
+  /// Record a TraceEvent per applied rule.  The trace feeds the opacity
+  /// classifier, scheduler statistics, and scenario reports; the explorer
+  /// switches it off — it reads the trace only when printing a failing
+  /// terminal, and the per-rule appends plus the per-copy chain shares are
+  /// pure overhead across millions of successor expansions.
+  bool RecordTrace = true;
   /// Test-only fault injection: the criterion with exactly this
   /// paper-style name (e.g. "PUSH criterion (ii)") is reported as passing
   /// without being evaluated.  The differential fuzzer's shrinker test
@@ -107,8 +120,10 @@ struct ThreadState {
   CodePtr OrigCode;
   Stack OrigSigma;
   bool InTx = false;
-  /// Transactions not yet begun, in program order.
-  std::vector<CodePtr> Pending;
+  /// Transactions not yet begun, in program order.  Copy-on-write: machine
+  /// copies share the queue; the rare mutations (BEGIN, dynamic queueing)
+  /// clone it.
+  CowVec<CodePtr> Pending;
   /// Number of CMTs this thread has performed.
   size_t Commits = 0;
 
@@ -189,11 +204,16 @@ public:
   // -- Observation ----------------------------------------------------------
 
   const GlobalLog &global() const { return G; }
-  const std::vector<ThreadState> &threads() const { return Threads; }
+  /// Thread container: inline up to four threads so that copying a machine
+  /// (the explorer does this once per applied rule) performs no heap
+  /// allocation for the thread array itself.
+  using ThreadList = SmallVec<ThreadState, 4>;
+
+  const ThreadList &threads() const { return Threads; }
   const ThreadState &thread(TxId T) const;
   const RuleTrace &trace() const { return Trace; }
 
-  /// One audited rule application (only recorded with Config.KeepAudit).
+  /// One audited rule application (only recorded with Config.RecordAudit).
   struct AuditEntry {
     TxId Tid = 0;
     std::string OpText;
@@ -204,7 +224,9 @@ public:
   /// Render the audit log: every applied rule with each criterion's
   /// verdict — the discharge record of the paper's side-conditions.
   std::string auditToString() const;
-  const std::vector<CommittedTx> &committed() const { return Committed; }
+  const std::vector<CommittedTx> &committed() const {
+    return Committed.view();
+  }
   const SequentialSpec &spec() const { return *Spec; }
   MoverChecker &movers() const { return *Movers; }
   const MachineConfig &config() const { return Config; }
@@ -237,6 +259,15 @@ public:
   /// (pending queues are keyed by count, not content).
   std::string configKey(const std::vector<TxId> *LabelOf = nullptr) const;
 
+  /// The minimum of configKey over a whole symmetry group (\p Perms;
+  /// element 0 must be the identity), with \p BestPerm set to the index of
+  /// the minimizing permutation.  Equivalent to taking configKey(&P) for
+  /// every P and keeping the smallest, but renders the label-independent
+  /// sections once instead of once per permutation — the symmetry
+  /// reduction keys every visited configuration |Perms| ways.
+  std::string configKeyCanonical(const std::vector<std::vector<TxId>> &Perms,
+                                 size_t &BestPerm) const;
+
   /// The committed projection |G|_gCmt — what the serializability theorem
   /// relates to an atomic log.
   std::vector<Operation> committedLog() const;
@@ -264,18 +295,28 @@ private:
   StateSetId globalViewId(const Operation *Extra,
                           size_t OmitIdx = static_cast<size_t>(-1)) const;
 
-  /// Evaluate a Tri criterion under the current validation level: at
-  /// Trusting level the thunk is skipped entirely.
+  /// Evaluate a Tri criterion under the current validation level (at
+  /// Trusting level the thunk is skipped entirely) and append its report
+  /// to \p Rs.  Clean passes are elided unless Config.RecordAudit; failing
+  /// and Unknown verdicts are always appended so firstFailure() works.
   template <typename Fn>
-  CriterionReport evalCriterion(const std::string &Name, Fn &&Thunk,
-                                const std::string &Detail = "") const;
+  void evalCriterion(CriterionReports &Rs, const char *Name, Fn &&Thunk,
+                     const char *Detail = "") const;
+
+  /// Append a report for an inline-evaluated verdict, with the same
+  /// pass-elision policy as evalCriterion.
+  void noteCriterion(CriterionReports &Rs, const char *Name, Tri V,
+                     const char *Detail = "") const;
 
   /// Does this set of reports permit the rule to fire?
-  bool reportsPass(const std::vector<CriterionReport> &Rs) const;
+  bool reportsPass(const CriterionReports &Rs) const;
 
   /// Run the Section 5.3 invariant suite (Full level only); asserts on
   /// violation.
   void checkInvariantsAfterStep(const char *Rule);
+
+  /// Append the memoized committed-content key section (see configKey).
+  void appendCommittedKey(std::string &Out) const;
 
   void recordEvent(TxId T, RuleKind K, const Operation *Op,
                    bool PulledUncommitted = false);
@@ -285,13 +326,23 @@ private:
   MoverChecker *Movers;
   MachineConfig Config;
 
-  std::vector<ThreadState> Threads;
+  ThreadList Threads;
   GlobalLog G;
   OpIdSource Ids;
   RuleTrace Trace;
   std::vector<AuditEntry> Audit;
-  std::vector<CommittedTx> Committed;
+  /// Copy-on-write: the explorer's per-successor machine copies share the
+  /// history; the oracle and configKey read it constantly, commits extend
+  /// it rarely.
+  CowVec<CommittedTx> Committed;
+  /// Memoized configKey committed section (relabeling-invariant, extended
+  /// only by CMT).  Copies share it; commit() invalidates.  Each machine
+  /// owns its shared_ptr object, so resetting one copy's cache never races
+  /// with another's.
+  mutable std::shared_ptr<const std::string> CommittedKeyCache;
   uint64_t CommitSeq = 0;
+  /// Counts whole-machine copies into memstats::MachineCopies.
+  [[no_unique_address]] memstats::CopyTick CopyTick;
 };
 
 /// What a rule's Figure 5 criteria read and what its mutation writes,

@@ -10,9 +10,8 @@
 using namespace pushpull;
 
 /// First position whose name is >= Var (the vector is name-sorted).
-static std::vector<std::pair<std::string, Value>>::const_iterator
-lowerBoundVar(const std::vector<std::pair<std::string, Value>> &Vars,
-              const std::string &Var) {
+static Stack::Entries::const_iterator
+lowerBoundVar(const Stack::Entries &Vars, const std::string &Var) {
   return std::lower_bound(
       Vars.begin(), Vars.end(), Var,
       [](const std::pair<std::string, Value> &E, const std::string &V) {

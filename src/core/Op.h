@@ -17,6 +17,8 @@
 #ifndef PUSHPULL_CORE_OP_H
 #define PUSHPULL_CORE_OP_H
 
+#include "support/SmallVec.h"
+
 #include <atomic>
 #include <cstdint>
 #include <optional>
@@ -41,12 +43,14 @@ using TxId = unsigned;
 /// arguments are read from it, results are bound into it) and the operation
 /// records themselves.
 ///
-/// Backed by a name-sorted vector rather than a tree map: stacks are tiny
-/// (a handful of short names) but copied constantly — every operation
-/// record carries two — and a vector copy is one allocation where a map
-/// copy is one per node.
+/// Backed by a name-sorted small vector rather than a tree map: stacks are
+/// tiny (a handful of short names) but copied constantly — every operation
+/// record carries two — and with the first two bindings inline the common
+/// copy allocates nothing at all.
 class Stack {
 public:
+  using Entries = SmallVec<std::pair<std::string, Value>, 2>;
+
   Stack() = default;
 
   /// Look up \p Var; nullopt when unbound.
@@ -71,12 +75,10 @@ public:
   std::string toString() const;
 
   /// Bindings sorted by name.
-  const std::vector<std::pair<std::string, Value>> &entries() const {
-    return Vars;
-  }
+  const Entries &entries() const { return Vars; }
 
 private:
-  std::vector<std::pair<std::string, Value>> Vars;
+  Entries Vars;
 };
 
 /// A fully resolved method call: the shared object it targets, the method

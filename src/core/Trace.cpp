@@ -4,89 +4,41 @@
 
 using namespace pushpull;
 
-void RuleTrace::release() {
-  // Unlink node by node.  Once use_count() == 1 this trace is the sole
-  // owner of the rest of the chain (nobody else can acquire a reference
-  // to a node they hold no shared_ptr into), so stealing Prev before the
-  // node dies keeps destruction iterative.
-  std::shared_ptr<Node> N = std::move(Newest);
-  while (N && N.use_count() == 1)
-    N = std::move(N->Prev);
-}
-
-RuleTrace &RuleTrace::operator=(const RuleTrace &O) {
-  if (this != &O) {
-    release();
-    Newest = O.Newest;
-    Count = O.Count;
-    NextSeq = O.NextSeq;
-  }
-  return *this;
-}
-
-RuleTrace &RuleTrace::operator=(RuleTrace &&O) noexcept {
-  if (this != &O) {
-    release();
-    Newest = std::move(O.Newest);
-    Count = O.Count;
-    NextSeq = O.NextSeq;
-    O.Count = 0;
-    O.NextSeq = 0;
-  }
-  return *this;
-}
-
-void RuleTrace::record(TraceEvent E) {
-  E.Seq = NextSeq++;
-  auto N = std::make_shared<Node>();
-  N->E = std::move(E);
-  N->Prev = std::move(Newest);
-  Newest = std::move(N);
-  ++Count;
-}
-
-template <typename Fn> void RuleTrace::forEachInOrder(Fn &&F) const {
-  std::vector<const Node *> Chain;
-  Chain.reserve(Count);
-  for (const Node *N = Newest.get(); N; N = N->Prev.get())
-    Chain.push_back(N);
-  for (size_t I = Chain.size(); I > 0; --I)
-    F(Chain[I - 1]->E);
-}
-
 std::vector<TraceEvent> RuleTrace::events() const {
   std::vector<TraceEvent> Out;
-  Out.reserve(Count);
-  forEachInOrder([&](const TraceEvent &E) { Out.push_back(E); });
+  Out.reserve(size());
+  for (const TraceEvent &E : *this)
+    Out.push_back(E);
   return Out;
 }
 
 size_t RuleTrace::countOf(RuleKind K) const {
   size_t N = 0;
-  for (const Node *P = Newest.get(); P; P = P->Prev.get())
-    if (P->E.Rule == K)
+  for (const TraceEvent &E : *this)
+    if (E.Rule == K)
       ++N;
   return N;
 }
 
 std::vector<TraceEvent> RuleTrace::byThread(TxId T) const {
   std::vector<TraceEvent> Out;
-  forEachInOrder([&](const TraceEvent &E) {
+  for (const TraceEvent &E : *this)
     if (E.Tid == T)
       Out.push_back(E);
-  });
   return Out;
 }
 
 std::string RuleTrace::toString() const {
   std::string Out;
-  forEachInOrder([&](const TraceEvent &E) {
+  for (const TraceEvent &E : *this) {
     Out += "t" + std::to_string(E.Tid) + ": " + pushpull::toString(E.Rule);
     if (!E.OpText.empty())
       Out += "(" + E.OpText + ")";
+    else if (E.Id)
+      Out += "(#" + std::to_string(E.Id) + ")";
     if (E.PulledUncommitted)
       Out += " [uncommitted]";
     Out += "\n";
-  });
+  }
   return Out;
 }

@@ -19,9 +19,8 @@
 
 #include "core/Criteria.h"
 #include "core/Op.h"
+#include "support/Cow.h"
 
-#include <array>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,7 +33,8 @@ struct TraceEvent {
   /// The operation the rule touched (0 for CMT).
   OpId Id = 0;
   /// Printable description of that operation (kept by value: the op itself
-  /// may later be removed from every log by UNPUSH/UNAPP).
+  /// may later be removed from every log by UNPUSH/UNAPP).  Only recorded
+  /// with MachineConfig::RecordAudit; reporting falls back to "#id".
   std::string OpText;
   /// For PULL events: was the pulled entry uncommitted at pull time?  This
   /// is what the Section 6.1 opacity fragment is defined by.
@@ -45,30 +45,31 @@ struct TraceEvent {
 
 /// An append-only record of rule applications across all threads.
 ///
-/// Stored as a persistent (structurally shared) list: copying a trace is
-/// O(1) and shares the recorded prefix with the original.  The explorer
-/// copies whole machines once per candidate successor, so trace copies are
-/// on its innermost loop; appends after a copy never disturb the original
-/// (each copy grows its own tail).  Reading in event order materializes a
-/// vector, which only the reporting paths do.
+/// Stored as a copy-on-write chunk chain (support/Cow.h): copying a trace
+/// is one refcount bump and shares the recorded prefix with the original.
+/// The explorer copies whole machines once per emitted successor, so trace
+/// copies are on its innermost loop; appends after a copy open a fresh
+/// head chunk and never disturb the original, while the sequential
+/// scheduler (sole owner) appends in place, eight events per chunk
+/// allocation.  Teardown of the chain is iterative, so multi-thousand-
+/// event scheduler traces never overflow the stack.
 class RuleTrace {
 public:
-  RuleTrace() = default;
-  RuleTrace(const RuleTrace &) = default;
-  RuleTrace(RuleTrace &&) = default;
-  // Assignment and destruction release the old chain iteratively; the
-  // default (recursive shared_ptr teardown) would overflow the stack on
-  // the multi-thousand-event traces long scheduler runs record.
-  RuleTrace &operator=(const RuleTrace &O);
-  RuleTrace &operator=(RuleTrace &&O) noexcept;
-  ~RuleTrace() { release(); }
-
-  void record(TraceEvent E);
+  void record(TraceEvent E) {
+    E.Seq = NextSeq++;
+    Chain.push(std::move(E));
+  }
 
   /// All events, oldest first (materialized on demand).
   std::vector<TraceEvent> events() const;
-  bool empty() const { return Count == 0; }
-  size_t size() const { return Count; }
+  bool empty() const { return Chain.empty(); }
+  size_t size() const { return Chain.size(); }
+
+  /// In-order iteration without materializing (oldest first).
+  CowChain<TraceEvent, 8>::const_iterator begin() const {
+    return Chain.begin();
+  }
+  CowChain<TraceEvent, 8>::const_iterator end() const { return Chain.end(); }
 
   /// Number of events with the given rule kind.
   size_t countOf(RuleKind K) const;
@@ -80,25 +81,12 @@ public:
   std::string toString() const;
 
   void clear() {
-    release();
-    Count = 0;
+    Chain.clear();
     NextSeq = 0;
   }
 
 private:
-  struct Node {
-    TraceEvent E;
-    std::shared_ptr<Node> Prev;
-  };
-
-  /// Drop this trace's chain without recursing.
-  void release();
-
-  /// Visit all events oldest-first.
-  template <typename Fn> void forEachInOrder(Fn &&F) const;
-
-  std::shared_ptr<Node> Newest;
-  size_t Count = 0;
+  CowChain<TraceEvent, 8> Chain;
   uint64_t NextSeq = 0;
 };
 

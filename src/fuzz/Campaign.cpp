@@ -188,6 +188,11 @@ void Campaign::runCase(const FuzzCase &Case, CampaignReport &Report) {
     Report.Caches.MoverMemoMisses += D.Caches.MoverMemoMisses;
     Report.Caches.PrecongruencePairs += D.Caches.PrecongruencePairs;
     Report.Caches.ReachableSets += D.Caches.ReachableSets;
+    Report.Caches.Memory.MachineCopies += D.Caches.Memory.MachineCopies;
+    Report.Caches.Memory.ChunkShares += D.Caches.Memory.ChunkShares;
+    Report.Caches.Memory.DeepCopies += D.Caches.Memory.DeepCopies;
+    Report.Caches.Memory.SnapshotBytes += D.Caches.Memory.SnapshotBytes;
+    Report.Caches.Memory.ArenaBytes += D.Caches.Memory.ArenaBytes;
     if (!D.Stats.Quiescent)
       ++Report.NotQuiescent;
   }

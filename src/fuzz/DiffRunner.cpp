@@ -100,6 +100,7 @@ DiffReport DiffRunner::run(const BuiltCase &Case) const {
     return Report;
   }
 
+  memstats::Snapshot MemBefore = memstats::read();
   MoverChecker Movers(*Case.Spec, Config.Movers, Config.Pre);
 
   // (3) Invariants after every rule firing, via the observation hook.  The
@@ -174,6 +175,7 @@ DiffReport DiffRunner::run(const BuiltCase &Case) const {
   Report.Caches.MoverMemoMisses = Movers.memoMisses();
   Report.Caches.PrecongruencePairs = Movers.precongruence().pairsVisited();
   Report.Caches.ReachableSets = Movers.reachableComputedCount();
+  Report.Caches.Memory = memstats::read().delta(MemBefore);
   return Report;
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/Op.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -36,6 +37,7 @@
 namespace pushpull {
 
 class Code;
+struct StepItem;
 /// Immutable shared handle to a code tree.
 using CodePtr = std::shared_ptr<const Code>;
 
@@ -103,12 +105,29 @@ public:
 private:
   explicit Code(CodeKind K) : Kind(K) {}
 
+  friend const std::vector<StepItem> &step(const CodePtr &C);
+  friend bool fin(const CodePtr &C);
+
   CodeKind Kind;
   MethodExpr Call;
   CodePtr Lhs, Rhs, Body;
   /// Lazily filled by printed(); never part of node identity.
   mutable std::once_flag PrintedOnce;
   mutable std::string Printed;
+  /// step(c) computed once per node (lang/StepFin.cpp): nodes are
+  /// immutable, and the machine recomputes step(remaining code) on every
+  /// APP attempt and every candidate enumeration.  Memoizing also makes
+  /// the continuation nodes canonical, so their own printed()/step()
+  /// caches stay warm instead of being rebuilt on fresh nodes each call.
+  /// (A Loop node's cache holds a continuation that references the node
+  /// itself — a reference cycle that pins one small vector per distinct
+  /// loop node for the process lifetime, bounded by program text size.)
+  mutable std::once_flag StepOnce;
+  mutable std::shared_ptr<const std::vector<StepItem>> StepCache;
+  /// fin(c) memo: -1 unset, else 0/1.  Relaxed atomics — the computed
+  /// value is a pure function of the immutable node, so racing writers
+  /// store the same value.
+  mutable std::atomic<signed char> FinCache{-1};
 };
 
 /// Convenience free-function aliases for building programs fluently.

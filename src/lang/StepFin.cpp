@@ -4,63 +4,105 @@
 
 #include <cassert>
 
+#if defined(__SANITIZE_ADDRESS__)
+#define PUSHPULL_HAS_LSAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PUSHPULL_HAS_LSAN 1
+#endif
+#endif
+#ifdef PUSHPULL_HAS_LSAN
+#include <sanitizer/lsan_interface.h>
+#endif
+
 using namespace pushpull;
 
-std::vector<StepItem> pushpull::step(const CodePtr &C) {
+namespace {
+
+/// A Loop node's step cache holds continuations that reference the node
+/// itself (see the StepCache comment in lang/Ast.h) — an intentional,
+/// text-size-bounded cycle.  Root it so LeakSanitizer treats the cycle
+/// as reachable instead of reporting every node it pins.
+void lsanRootIntentionalCycle(const void *Node) {
+#ifdef PUSHPULL_HAS_LSAN
+  __lsan_ignore_object(Node);
+#else
+  (void)Node;
+#endif
+}
+
+} // namespace
+
+const std::vector<StepItem> &pushpull::step(const CodePtr &C) {
   assert(C && "step of null code");
-  std::vector<StepItem> Out;
-  switch (C->kind()) {
-  case CodeKind::Skip:
-    break;
-  case CodeKind::Call:
-    Out.push_back({C->call(), skip()});
-    break;
-  case CodeKind::Seq: {
-    // step(c1 ; c2) = (step(c1) ; c2) u (fin(c1) ; step(c2))
-    for (StepItem &It : step(C->lhs()))
-      Out.push_back({std::move(It.Call), seq(std::move(It.Rest), C->rhs())});
-    if (fin(C->lhs()))
-      for (StepItem &It : step(C->rhs()))
-        Out.push_back(std::move(It));
-    break;
-  }
-  case CodeKind::Choice: {
-    for (StepItem &It : step(C->lhs()))
-      Out.push_back(std::move(It));
-    for (StepItem &It : step(C->rhs()))
-      Out.push_back(std::move(It));
-    break;
-  }
-  case CodeKind::Loop: {
-    // step((c)*) = step(c) ; (c)*
-    for (StepItem &It : step(C->body()))
-      Out.push_back({std::move(It.Call), seq(std::move(It.Rest), C)});
-    break;
-  }
-  case CodeKind::Tx:
-    Out = step(C->body());
-    break;
-  }
-  return Out;
+  std::call_once(C->StepOnce, [&C] {
+    auto Out = std::make_shared<std::vector<StepItem>>();
+    switch (C->kind()) {
+    case CodeKind::Skip:
+      break;
+    case CodeKind::Call:
+      Out->push_back({C->call(), skip()});
+      break;
+    case CodeKind::Seq: {
+      // step(c1 ; c2) = (step(c1) ; c2) u (fin(c1) ; step(c2))
+      for (const StepItem &It : step(C->lhs()))
+        Out->push_back({It.Call, seq(It.Rest, C->rhs())});
+      if (fin(C->lhs()))
+        for (const StepItem &It : step(C->rhs()))
+          Out->push_back(It);
+      break;
+    }
+    case CodeKind::Choice: {
+      for (const StepItem &It : step(C->lhs()))
+        Out->push_back(It);
+      for (const StepItem &It : step(C->rhs()))
+        Out->push_back(It);
+      break;
+    }
+    case CodeKind::Loop: {
+      // step((c)*) = step(c) ; (c)*
+      for (const StepItem &It : step(C->body()))
+        Out->push_back({It.Call, seq(It.Rest, C)});
+      lsanRootIntentionalCycle(C.get());
+      break;
+    }
+    case CodeKind::Tx:
+      *Out = step(C->body());
+      break;
+    }
+    C->StepCache = std::move(Out);
+  });
+  return *C->StepCache;
 }
 
 bool pushpull::fin(const CodePtr &C) {
   assert(C && "fin of null code");
+  signed char Memo = C->FinCache.load(std::memory_order_relaxed);
+  if (Memo >= 0)
+    return Memo != 0;
+  bool R = false;
   switch (C->kind()) {
   case CodeKind::Skip:
-    return true;
+    R = true;
+    break;
   case CodeKind::Call:
-    return false;
+    R = false;
+    break;
   case CodeKind::Seq:
-    return fin(C->lhs()) && fin(C->rhs());
+    R = fin(C->lhs()) && fin(C->rhs());
+    break;
   case CodeKind::Choice:
-    return fin(C->lhs()) || fin(C->rhs());
+    R = fin(C->lhs()) || fin(C->rhs());
+    break;
   case CodeKind::Loop:
-    return true;
+    R = true;
+    break;
   case CodeKind::Tx:
-    return fin(C->body());
+    R = fin(C->body());
+    break;
   }
-  return false;
+  C->FinCache.store(R ? 1 : 0, std::memory_order_relaxed);
+  return R;
 }
 
 static void collectMethods(const CodePtr &C, std::vector<MethodExpr> &Out) {

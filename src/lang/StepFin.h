@@ -42,9 +42,13 @@ struct StepItem {
 
 /// Compute step(c).  The result is finite for every finite code tree; loop
 /// bodies contribute one unrolling per call site (step((c)*) = step(c);(c)*).
-std::vector<StepItem> step(const CodePtr &C);
+/// Memoized on the (immutable) node: the machine calls this on every APP
+/// attempt and candidate enumeration, and the returned reference stays
+/// valid for the node's lifetime.
+const std::vector<StepItem> &step(const CodePtr &C);
 
 /// Compute fin(c): can c reduce to skip without encountering a method?
+/// Memoized on the node.
 bool fin(const CodePtr &C);
 
 /// All method expressions syntactically reachable in c (the closure of

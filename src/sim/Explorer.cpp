@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -34,26 +35,30 @@ std::string committedContentKey(const PushPullMachine &M, StateTable &Table) {
 
   std::string Key;
   Key.reserve(32 + 48 * Order.size());
-  auto AppendStack = [&Key](const Stack &S) {
+  auto Append32 = [&Key](uint32_t V) {
+    char B[4];
+    std::memcpy(B, &V, 4);
+    Key.append(B, 4);
+  };
+  auto AppendStack = [&](const Stack &S) {
+    Append32(static_cast<uint32_t>(S.size()));
     for (const auto &[Var, Val] : S.entries()) {
-      Key += Var;
-      Key += '>';
-      Key += std::to_string(Val);
-      Key += ',';
+      Key += Var; // Identifier text: never contains NUL.
+      Key.push_back('\0');
+      uint64_t Bits = static_cast<uint64_t>(Val);
+      char B[8];
+      std::memcpy(B, &Bits, 8);
+      Key.append(B, 8);
     }
   };
   for (const CommittedTx *T : Order) {
     Key += T->Body->printed();
-    Key += '\x01';
+    Key.push_back('\0');
     AppendStack(T->Sigma);
-    Key += '\x01';
     AppendStack(T->FinalSigma);
-    Key += '\x02';
   }
-  for (const Operation &Op : M.committedLog()) {
-    Key += std::to_string(Table.opKey(Op));
-    Key += ';';
-  }
+  for (const Operation &Op : M.committedLog())
+    Append32(Table.opKey(Op));
   return Key;
 }
 
@@ -70,15 +75,20 @@ const SerializabilityVerdict &cachedCommitOrderVerdict(
       .first->second;
 }
 
+/// The candidate scratch arena: one per explorer worker thread, rewound
+/// by expandReduced's scope after every expansion, so steady-state
+/// candidate enumeration performs no heap allocation at all.
+thread_local Arena CandidateArena;
+
 /// Enumerate every candidate move from \p M as a (firing, footprint)
 /// pair, in the canonical rule order the sequential DFS has always used:
 /// per thread, guarded BEGIN | APP (step x completion) | PUSH (each npshd)
 /// | PULL (each global entry not in L, opacity toggle respected) | CMT |
 /// backward UNAPP / UNPUSH / UNPULL.  Candidates are *attempts*: whether
 /// one is enabled is decided by firing it (rejections never mutate).
-std::vector<Candidate> enumerateCandidates(const PushPullMachine &M,
-                                           const ExplorerConfig &Config) {
-  std::vector<Candidate> Out;
+void enumerateCandidates(const PushPullMachine &M,
+                         const ExplorerConfig &Config,
+                         ArenaVec<Candidate> &Out) {
   auto FP = [](RuleKind K) {
     RuleFootprint R = ruleFootprint(K);
     FiringFootprint F;
@@ -109,8 +119,9 @@ std::vector<Candidate> enumerateCandidates(const PushPullMachine &M,
           {{T, FiringKind::Push, static_cast<uint32_t>(I), 0},
            FP(RuleKind::Push)});
 
-    for (size_t GI = 0; GI < M.global().size(); ++GI) {
-      const GlobalEntry &GE = M.global()[GI];
+    size_t GI = 0;
+    for (const GlobalEntry &GE : M.global().entries()) {
+      size_t Idx = GI++;
       if (Th.L.contains(GE.Op.Id))
         continue;
       if (!Config.ExploreUncommittedPulls &&
@@ -120,7 +131,7 @@ std::vector<Candidate> enumerateCandidates(const PushPullMachine &M,
       PullFP.PullOwner = GE.Owner;
       PullFP.PullCommitted = GE.Kind == GlobalKind::Committed;
       Out.push_back(
-          {{T, FiringKind::Pull, static_cast<uint32_t>(GI), 0}, PullFP});
+          {{T, FiringKind::Pull, static_cast<uint32_t>(Idx), 0}, PullFP});
     }
 
     Out.push_back({{T, FiringKind::Commit, 0, 0}, FP(RuleKind::Commit)});
@@ -136,7 +147,6 @@ std::vector<Candidate> enumerateCandidates(const PushPullMachine &M,
             {{T, FiringKind::UnPull, static_cast<uint32_t>(I), 0}, Local});
     }
   }
-  return Out;
 }
 
 /// The counters expandReduced accounts into (plain references so the
@@ -167,7 +177,9 @@ template <typename Emit>
 void expandReduced(const PushPullMachine &M, const ExplorerConfig &Config,
                    const SleepSet &Sleep, ExpandCounters Ctr,
                    Emit &&EmitNext) {
-  std::vector<Candidate> Cands = enumerateCandidates(M, Config);
+  Arena::Scope CandScope(CandidateArena);
+  ArenaVec<Candidate> Cands(CandidateArena);
+  enumerateCandidates(M, Config, Cands);
 
   if (usesPersistentSets(Config.Reduce)) {
     size_t Dropped = restrictToPersistent(Cands);
@@ -267,27 +279,25 @@ Explorer::Explorer(const SequentialSpec &Spec, MoverChecker &Movers,
 
 std::string Explorer::canonicalKey(const PushPullMachine &M, SleepSet &Sleep,
                                    uint64_t &SymmetryHits) const {
-  std::string Key = M.configKey();
   if (Perms.size() <= 1)
-    return Key;
-  const std::vector<TxId> *Best = nullptr; // identity
-  for (size_t Pi = 1; Pi < Perms.size(); ++Pi) {
-    std::string K = M.configKey(&Perms[Pi]);
-    if (K < Key) {
-      Key = std::move(K);
-      Best = &Perms[Pi];
-    }
-  }
-  if (Best) {
+    return M.configKey();
+  size_t BestPi = 0;
+  std::string Key = M.configKeyCanonical(Perms, BestPi);
+  if (BestPi != 0) {
     ++SymmetryHits;
-    Sleep = Sleep.relabeled(*Best);
+    Sleep = Sleep.relabeled(Perms[BestPi]);
   }
   return Key;
 }
 
 ExplorerReport
 Explorer::explore(const std::vector<std::vector<CodePtr>> &Programs) {
-  PushPullMachine M(Spec, Movers, Config.Machine);
+  // The explorer reads the trace only when rendering a failing terminal;
+  // recording it would cost a chain append per applied rule and a chain
+  // share per successor copy.
+  MachineConfig MC = Config.Machine;
+  MC.RecordTrace = false;
+  PushPullMachine M(Spec, Movers, MC);
   for (const auto &P : Programs)
     M.addThread(P);
 
@@ -315,7 +325,8 @@ void Explorer::visit(PushPullMachine M, size_t Depth, SleepSet Sleep,
   // entries stored by isomorphic configurations compare like with like.
   SleepSet StoredSleep = Sleep;
   std::string Key = canonicalKey(M, StoredSleep, Report.SymmetryHits);
-  auto [It, Fresh] = Visited.try_emplace(Key, VisitEntry{Depth, StoredSleep});
+  auto [It, Fresh] =
+      Visited.try_emplace(std::move(Key), VisitEntry{Depth, StoredSleep});
   if (!Fresh) {
     bool Shallower = Depth < It->second.Depth;
     bool SleepCovered = !UseSleep || StoredSleep.supersetOf(It->second.Sleep);

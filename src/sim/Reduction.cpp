@@ -214,7 +214,7 @@ SleepSet SleepSet::relabeled(const std::vector<TxId> &LabelOf) const {
 }
 
 void SleepSet::intersectWith(const SleepSet &O) {
-  std::vector<Candidate> Out;
+  Storage Out;
   Out.reserve(std::min(Members.size(), O.Members.size()));
   auto It = O.Members.begin();
   for (const Candidate &C : Members) {
@@ -299,7 +299,7 @@ symmetryGroup(const std::vector<std::vector<CodePtr>> &Programs,
   return Group;
 }
 
-size_t restrictToPersistent(std::vector<Candidate> &Cands) {
+size_t restrictToPersistent(ArenaVec<Candidate> &Cands) {
   // A BEGIN candidate exists exactly for an idle thread with pending
   // transactions, and its singleton is persistent (see Reduction.h).
   // Pick the lowest such thread for determinism.
@@ -311,7 +311,8 @@ size_t restrictToPersistent(std::vector<Candidate> &Cands) {
     return 0;
   Candidate Keep = *Begin;
   size_t Dropped = Cands.size() - 1;
-  Cands.assign(1, Keep);
+  Cands[0] = Keep;
+  Cands.truncate(1);
   return Dropped;
 }
 

@@ -41,6 +41,8 @@
 
 #include "core/Op.h"
 #include "lang/Ast.h"
+#include "support/Arena.h"
+#include "support/SmallVec.h"
 
 #include <cstdint>
 #include <string>
@@ -162,12 +164,16 @@ bool applyFiring(PushPullMachine &M, const Firing &F);
 /// re-exploration here would only re-derive commuted interleavings.
 /// Represented as a small sorted vector of candidates (footprints ride
 /// along because surviving a step requires an independence check against
-/// the fired candidate).
+/// the fired candidate).  Sleep sets ride on every explorer work item and
+/// visited-map entry; the inline capacity keeps the common few-member set
+/// off the heap.
 class SleepSet {
 public:
+  using Storage = SmallVec<Candidate, 8>;
+
   bool empty() const { return Members.empty(); }
   size_t size() const { return Members.size(); }
-  const std::vector<Candidate> &members() const { return Members; }
+  const Storage &members() const { return Members; }
 
   bool contains(const Firing &F) const;
   void insert(const Candidate &C);
@@ -192,7 +198,7 @@ public:
   SleepSet relabeled(const std::vector<TxId> &LabelOf) const;
 
 private:
-  std::vector<Candidate> Members;
+  Storage Members;
 };
 
 /// All thread relabelings that permute identical thread programs among
@@ -218,8 +224,9 @@ symmetryGroup(const std::vector<std::vector<CodePtr>> &Programs,
 /// applies.  For threads *inside* a transaction no sound static singleton
 /// exists: another thread's PUSH can enable a new PULL for this thread,
 /// and that PULL is same-thread-dependent with every local firing — see
-/// DESIGN.md section 10.
-size_t restrictToPersistent(std::vector<Candidate> &Cands);
+/// DESIGN.md section 10.  Operates on the explorer's arena-backed
+/// candidate scratch (see sim/Explorer.cpp expandReduced).
+size_t restrictToPersistent(ArenaVec<Candidate> &Cands);
 
 } // namespace pushpull
 

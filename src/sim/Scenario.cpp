@@ -317,9 +317,10 @@ ScenarioParseResult pushpull::parseScenario(const std::string &Text) {
 
 ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   ScenarioOutcome Out;
+  memstats::Snapshot MemBefore = memstats::read();
   MoverChecker Movers(*S.Spec, S.Movers, S.Pre);
   MachineConfig MC;
-  MC.KeepAudit = true; // Scenario runs are small; keep the discharge log.
+  MC.RecordAudit = true; // Scenario runs are small; keep the discharge log.
   PushPullMachine M(*S.Spec, Movers, MC);
   for (const auto &P : S.Threads)
     M.addThread(P);
@@ -408,5 +409,6 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   Out.Caches.MoverMemoMisses = Movers.memoMisses();
   Out.Caches.PrecongruencePairs = Movers.precongruence().pairsVisited();
   Out.Caches.ReachableSets = Movers.reachableComputedCount();
+  Out.Caches.Memory = memstats::read().delta(MemBefore);
   return Out;
 }

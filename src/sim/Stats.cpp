@@ -19,7 +19,7 @@ double RunStats::abortRatio() const {
 }
 
 void RunStats::absorbTrace(const RuleTrace &T) {
-  for (const TraceEvent &E : T.events())
+  for (const TraceEvent &E : T)
     ++RuleCounts[static_cast<int>(E.Rule)];
 }
 
@@ -68,6 +68,20 @@ std::string CacheStats::toString() const {
   Out += "  persistent cuts:      " +
          std::to_string(ExplorerPersistentCuts) + "\n";
   Out += "  symmetry hits:        " + std::to_string(ExplorerSymmetryHits) +
+         "\n";
+  uint64_t Copies = Memory.ChunkShares + Memory.DeepCopies;
+  double ShareRate =
+      Copies ? static_cast<double>(Memory.ChunkShares) /
+                   static_cast<double>(Copies)
+             : 0.0;
+  Out += "  machine copies:       " + std::to_string(Memory.MachineCopies) +
+         "\n";
+  Out += "  log chunk copies:     " + std::to_string(Memory.ChunkShares) +
+         " shared / " + std::to_string(Memory.DeepCopies) + " cloned (" +
+         percent(ShareRate) + " shared)\n";
+  Out += "  snapshot bytes:       " + std::to_string(Memory.SnapshotBytes) +
+         "\n";
+  Out += "  arena bytes:          " + std::to_string(Memory.ArenaBytes) +
          "\n";
   return Out;
 }

@@ -18,6 +18,7 @@
 
 #include "core/Spec.h"
 #include "core/Trace.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <string>
@@ -76,6 +77,11 @@ struct CacheStats {
   uint64_t ExplorerSymmetryHits = 0;
   /// Fraction of the explorer's candidate firings the reduction pruned.
   double ExplorerReductionRatio = 0.0;
+  /// Snapshot/copy traffic over the run (delta of the process-wide
+  /// memstats counters): machine copies, O(1) chunk shares vs chunks the
+  /// CoW layer actually had to clone, bytes carved into chunks and drawn
+  /// from arenas.
+  memstats::Snapshot Memory;
 
   double moverHitRate() const {
     uint64_t Total = MoverMemoHits + MoverMemoMisses;

@@ -1,0 +1,206 @@
+//===- support/SmallVec.h - Small-buffer vector -----------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for the first \p N elements.  The machine's
+/// hot structures are short and copied constantly — thread stacks hold a
+/// handful of bindings, a rule attempt produces at most four criterion
+/// reports, a configuration's candidate frontier fits in a few dozen
+/// entries — so the common case should be zero heap traffic.  Only the
+/// operations those call sites use are provided; iterators are plain
+/// pointers (contiguous, random access).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_SUPPORT_SMALLVEC_H
+#define PUSHPULL_SUPPORT_SMALLVEC_H
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace pushpull {
+
+template <typename T, size_t N> class SmallVec {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> Init) {
+    reserve(Init.size());
+    for (const T &V : Init)
+      ::new (Ptr + Size) T(V), ++Size;
+  }
+  SmallVec(const SmallVec &O) {
+    reserve(O.Size);
+    for (size_t I = 0; I < O.Size; ++I)
+      ::new (Ptr + I) T(O.Ptr[I]);
+    Size = O.Size;
+  }
+  SmallVec(SmallVec &&O) noexcept { moveFrom(std::move(O)); }
+  SmallVec &operator=(const SmallVec &O) {
+    if (this == &O)
+      return *this;
+    clear();
+    reserve(O.Size);
+    for (size_t I = 0; I < O.Size; ++I)
+      ::new (Ptr + I) T(O.Ptr[I]);
+    Size = O.Size;
+    return *this;
+  }
+  SmallVec &operator=(SmallVec &&O) noexcept {
+    if (this == &O)
+      return *this;
+    destroyAll();
+    moveFrom(std::move(O));
+    return *this;
+  }
+  ~SmallVec() { destroyAll(); }
+
+  bool empty() const { return Size == 0; }
+  size_t size() const { return Size; }
+  size_t capacity() const { return Cap; }
+
+  T &operator[](size_t I) {
+    assert(I < Size);
+    return Ptr[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size);
+    return Ptr[I];
+  }
+  T &front() { return Ptr[0]; }
+  const T &front() const { return Ptr[0]; }
+  T &back() { return Ptr[Size - 1]; }
+  const T &back() const { return Ptr[Size - 1]; }
+
+  iterator begin() { return Ptr; }
+  iterator end() { return Ptr + Size; }
+  const_iterator begin() const { return Ptr; }
+  const_iterator end() const { return Ptr + Size; }
+
+  void reserve(size_t Want) {
+    if (Want <= Cap)
+      return;
+    size_t NewCap = Cap * 2 < Want ? Want : Cap * 2;
+    T *NewPtr = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I < Size; ++I) {
+      ::new (NewPtr + I) T(std::move(Ptr[I]));
+      Ptr[I].~T();
+    }
+    if (Ptr != inlinePtr())
+      ::operator delete(Ptr);
+    Ptr = NewPtr;
+    Cap = NewCap;
+  }
+
+  void push_back(const T &V) { emplace_back(V); }
+  void push_back(T &&V) { emplace_back(std::move(V)); }
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    reserve(Size + 1);
+    T *Slot = ::new (Ptr + Size) T(std::forward<Args>(A)...);
+    ++Size;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(Size && "pop_back on empty SmallVec");
+    Ptr[--Size].~T();
+  }
+
+  /// Insert \p V before \p Pos (a const_iterator into this vector).
+  iterator insert(const_iterator Pos, T V) {
+    size_t At = static_cast<size_t>(Pos - Ptr);
+    reserve(Size + 1);
+    if (At == Size) {
+      ::new (Ptr + Size) T(std::move(V));
+    } else {
+      ::new (Ptr + Size) T(std::move(Ptr[Size - 1]));
+      for (size_t I = Size - 1; I > At; --I)
+        Ptr[I] = std::move(Ptr[I - 1]);
+      Ptr[At] = std::move(V);
+    }
+    ++Size;
+    return Ptr + At;
+  }
+
+  iterator erase(const_iterator Pos) {
+    size_t At = static_cast<size_t>(Pos - Ptr);
+    assert(At < Size && "erase out of range");
+    for (size_t I = At + 1; I < Size; ++I)
+      Ptr[I - 1] = std::move(Ptr[I]);
+    Ptr[--Size].~T();
+    return Ptr + At;
+  }
+
+  void resize(size_t NewSize) {
+    if (NewSize < Size) {
+      while (Size > NewSize)
+        Ptr[--Size].~T();
+      return;
+    }
+    reserve(NewSize);
+    while (Size < NewSize)
+      ::new (Ptr + Size) T(), ++Size;
+  }
+
+  void clear() {
+    while (Size)
+      Ptr[--Size].~T();
+  }
+
+  bool operator==(const SmallVec &O) const {
+    if (Size != O.Size)
+      return false;
+    for (size_t I = 0; I < Size; ++I)
+      if (!(Ptr[I] == O.Ptr[I]))
+        return false;
+    return true;
+  }
+  bool operator!=(const SmallVec &O) const { return !(*this == O); }
+
+private:
+  T *inlinePtr() { return reinterpret_cast<T *>(Inline); }
+
+  void destroyAll() {
+    clear();
+    if (Ptr != inlinePtr())
+      ::operator delete(Ptr);
+  }
+
+  /// Steal O's heap buffer, or move its inline elements; leaves O empty.
+  void moveFrom(SmallVec &&O) {
+    if (O.Ptr != O.inlinePtr()) {
+      Ptr = O.Ptr;
+      Size = O.Size;
+      Cap = O.Cap;
+      O.Ptr = O.inlinePtr();
+      O.Size = 0;
+      O.Cap = N;
+      return;
+    }
+    Ptr = inlinePtr();
+    Cap = N;
+    for (Size = 0; Size < O.Size; ++Size)
+      ::new (Ptr + Size) T(std::move(O.Ptr[Size]));
+    O.clear();
+  }
+
+  alignas(T) unsigned char Inline[N * sizeof(T)];
+  T *Ptr = inlinePtr();
+  size_t Size = 0;
+  size_t Cap = N;
+};
+
+} // namespace pushpull
+
+#endif // PUSHPULL_SUPPORT_SMALLVEC_H

@@ -16,7 +16,7 @@ IrrevocableTM::IrrevocableTM(PushPullMachine &M, IrrevocableConfig Config)
 
 uint64_t IrrevocableTM::irrevocableRollbacks() const {
   uint64_t N = 0;
-  for (const TraceEvent &E : M->trace().events()) {
+  for (const TraceEvent &E : M->trace()) {
     if (E.Tid != Config.IrrevocableThread)
       continue;
     if (E.Rule == RuleKind::UnApp || E.Rule == RuleKind::UnPush ||

@@ -253,6 +253,46 @@ TEST(ReductionEquivalence, SymmetryMeetsReductionTarget) {
 }
 
 // ---------------------------------------------------------------------------
+// The audit/trace bookkeeping the explorer elides (MachineConfig::
+// RecordAudit, off by default during exploration) must be *pure*
+// observation: switching it on cannot change a single explorer total or
+// verdict on any scope x mode.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionEquivalence, ExplorerResultsIdenticalWithAndWithoutAudit) {
+  for (const Scope &S : batteryScopes()) {
+    for (Reduction Mode : AllModes) {
+      ExplorerReport ByConfig[2];
+      for (bool Audit : {false, true}) {
+        auto Spec = S.MakeSpec();
+        MoverChecker Movers(*Spec);
+        ExplorerConfig EC;
+        EC.Reduce = Mode;
+        EC.ExploreBackwardRules = S.Backward;
+        EC.CheckInvariants = S.Invariants;
+        EC.MaxDepth = S.Backward ? 40 : 64;
+        EC.Machine.RecordAudit = Audit;
+        Explorer E(*Spec, Movers, EC);
+        std::vector<std::vector<CodePtr>> Ps;
+        for (const std::string &P : S.Programs)
+          Ps.push_back({parseOrDie(P)});
+        ByConfig[Audit] = E.explore(Ps);
+      }
+      const ExplorerReport &Off = ByConfig[0], &On = ByConfig[1];
+      std::string Tag = std::string(S.Name) + " / " + toString(Mode);
+      EXPECT_EQ(On.ConfigsVisited, Off.ConfigsVisited) << Tag;
+      EXPECT_EQ(On.TerminalConfigs, Off.TerminalConfigs) << Tag;
+      EXPECT_EQ(On.RuleApplications, Off.RuleApplications) << Tag;
+      EXPECT_EQ(On.RejectedAttempts, Off.RejectedAttempts) << Tag;
+      EXPECT_EQ(On.NonSerializable, Off.NonSerializable) << Tag;
+      EXPECT_EQ(On.InvariantViolations, Off.InvariantViolations) << Tag;
+      EXPECT_EQ(On.FiringsPruned, Off.FiringsPruned) << Tag;
+      EXPECT_EQ(On.Truncated, Off.Truncated) << Tag;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Adversarial soundness: with a planted PUSH-criterion bug the explorer
 // reports non-serializable terminals — and no reduction mode may prune
 // the counterexample away.

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Smoke-benchmark harness: run bench_explorer / bench_mover, compare
-against the recorded pre-interning seed baselines, capture cache
-effectiveness from `pprun --stats`, measure the partial-order-reduction
-ratio (full enumeration vs persistent+symmetry on a symmetric scope),
-and write the result as JSON (BENCH_PR3.json at the repo root, via the
-`bench-smoke` CMake target).
+"""Smoke-benchmark harness: run bench_explorer / bench_mover, the E12
+reduction-scope explorer benchmarks, and a fixed-seed ppfuzz campaign;
+compare against the recorded seed and PR 3 baselines; capture cache and
+snapshot/copy-traffic counters from `pprun --stats`; and write the result
+as JSON (BENCH_PR6.json at the repo root, via the `bench-smoke` CMake
+target).
+
+Exit status is non-zero when any tracked metric regresses more than
+--tolerance (default 10%) against its stored baseline, so CI can gate on
+performance.  Pass --no-gate to record numbers without failing.
 
 Only the Python standard library is used.  Times are medians of
 `--repeats` runs of each binary (the benches themselves already average
@@ -20,10 +24,11 @@ import statistics
 import subprocess
 import sys
 import tempfile
+import time
 
 # Pre-interning seed medians (ns), recorded on the same 1-CPU container
 # this harness targets.  The seed explorer also reported its throughput
-# counter directly.
+# counter directly.  Kept for the long-running "vs seed" history.
 SEED_NS = {
     "bench_explorer": {
         "BM_ExploreTwoThreads": 883308.0,
@@ -40,6 +45,44 @@ SEED_NS = {
 }
 SEED_EXPLORER_CONFIGS_PER_SEC = 110527.0
 
+# PR 3 baselines: medians measured by this same harness on a pristine
+# pre-CoW checkout (interleaved with the current build on one container,
+# so both sides see the same machine state).  The E12 reduction scope is
+# BM_ExploreReduced: three identical counter-increment transactions
+# explored under each reduction mode; configs/s is the explorer's visited
+# configurations per second.  ppfuzz execs/s is a fixed-seed campaign
+# (--seed 11) of generated differential-fuzzing cases.
+PR3_EXPLORER_CONFIGS_PER_SEC = {
+    "none": 144265.0,
+    "sleep": 156662.0,
+    "persistent": 141462.0,
+    "persistent+symmetry": 70793.0,
+    "two_threads": 203164.0,
+}
+PR3_PPFUZZ_EXECS_PER_SEC = 284.0
+
+# Stored baselines for the regression gate: floors/ceilings set ~10% past
+# the medians recorded when this harness was last re-baselined (PR 6), so
+# the gate has headroom for container noise on top of --tolerance.  "rate"
+# metrics must not drop more than the tolerance below baseline; "ns"
+# metrics must not rise more than the tolerance above it.
+TRACKED = {
+    "explorer_configs_per_sec/none": ("rate", 210000.0),
+    "explorer_configs_per_sec/sleep": ("rate", 195000.0),
+    "explorer_configs_per_sec/persistent": ("rate", 170000.0),
+    "explorer_configs_per_sec/persistent+symmetry": ("rate", 130000.0),
+    "explorer_configs_per_sec/two_threads": ("rate", 275000.0),
+    "ppfuzz_execs_per_sec": ("rate", 400.0),
+    "bench_mover/BM_LeftMoverSemanticCold": ("ns", 26000.0),
+    "bench_mover/BM_PrecongruenceRefutation": ("ns", 5200.0),
+    "bench_mover/BM_AllowedDenotation/64": ("ns", 2100.0),
+    # Snapshot traffic per visited config on the unreduced E12 scope: a
+    # rise means successor expansion started deep-copying again.  These
+    # are deterministic counters, not timings.
+    "explorer_snapshot_bytes_per_config": ("ns", 5500.0),
+    "explorer_deep_copies_per_config": ("ns", 2.1),
+}
+
 STATS_SCENARIO = """# bench_compare smoke scenario: map transactions + exploration.
 spec map name=map keys=4 vals=3
 engine boosting seed=42
@@ -50,8 +93,21 @@ check serializability
 check explore
 """
 
+REDUCTION_SCENARIO = """# bench_compare reduction scenario: 3 identical threads.
+spec counter name=c counters=1 mod=3
+engine boosting seed=42
+schedule random seed=7 maxsteps=100000
+thread tx { c.inc(0) }
+thread tx { c.inc(0) }
+thread tx { c.inc(0) }
+check explore
+"""
 
-def run_bench(binary, repeats):
+# BM_ExploreReduced/<arg> argument order (matches enum Reduction).
+REDUCED_MODES = ["none", "sleep", "persistent", "persistent+symmetry"]
+
+
+def run_bench(binary, repeats, bench_filter=None):
     """Run one google-benchmark binary; return {name: {"ns": median,
     "counters": {...}}} over the filtered benchmarks."""
     by_name = {}
@@ -59,11 +115,12 @@ def run_bench(binary, repeats):
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             out_path = tmp.name
         try:
-            subprocess.run(
-                [binary, "--benchmark_out=" + out_path,
-                 "--benchmark_out_format=json"],
-                check=True, stdout=subprocess.DEVNULL,
-                stderr=subprocess.DEVNULL)
+            cmd = [binary, "--benchmark_out=" + out_path,
+                   "--benchmark_out_format=json"]
+            if bench_filter:
+                cmd.append("--benchmark_filter=" + bench_filter)
+            subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
             with open(out_path) as f:
                 report = json.load(f)
         finally:
@@ -88,15 +145,23 @@ def run_bench(binary, repeats):
     }
 
 
-REDUCTION_SCENARIO = """# bench_compare reduction scenario: 3 identical threads.
-spec counter name=c counters=1 mod=3
-engine boosting seed=42
-schedule random seed=7 maxsteps=100000
-thread tx { c.inc(0) }
-thread tx { c.inc(0) }
-thread tx { c.inc(0) }
-check explore
-"""
+def run_ppfuzz(binary, repeats, seed=11, runs=300):
+    """Run a fixed-seed ppfuzz campaign; return median execs/s measured by
+    wall clock around the whole process (works for builds that do not
+    print their own throughput line)."""
+    rates = []
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as repro:
+            t0 = time.perf_counter()
+            proc = subprocess.run(
+                [binary, "--seed", str(seed), "--runs", str(runs),
+                 "--quiet", "--repro-dir", repro],
+                capture_output=True, text=True)
+            secs = time.perf_counter() - t0
+        if proc.returncode != 0:
+            return None
+        rates.append(runs / secs if secs > 0 else 0.0)
+    return statistics.median(rates)
 
 
 def run_reduction_scenario(pprun):
@@ -159,6 +224,11 @@ def run_stats_scenario(pprun):
         "mover_memo_misses": r"mover memo:\s+\d+ hits / (\d+)",
         "precongruence_pairs": r"precongruence pairs:\s+(\d+)",
         "reachable_state_sets": r"reachable state sets:\s+(\d+)",
+        "machine_copies": r"machine copies:\s+(\d+)",
+        "chunk_shares": r"log chunk copies:\s+(\d+) shared",
+        "deep_chunk_copies": r"log chunk copies:\s+\d+ shared / (\d+)",
+        "snapshot_bytes": r"snapshot bytes:\s+(\d+)",
+        "arena_bytes": r"arena bytes:\s+(\d+)",
     }
     for key, pat in patterns.items():
         m = re.search(pat, text)
@@ -168,19 +238,33 @@ def run_stats_scenario(pprun):
     misses = stats.get("transition_memo_misses", 0)
     if hits + misses:
         stats["transition_memo_hit_rate"] = hits / (hits + misses)
+    shares = stats.get("chunk_shares", 0)
+    clones = stats.get("deep_chunk_copies", 0)
+    if shares + clones:
+        stats["chunk_share_rate"] = shares / (shares + clones)
     return stats
+
+
+def geomean(values):
+    return statistics.geometric_mean(values) if values else 0.0
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR3.json")
+    ap.add_argument("--out", default="BENCH_PR6.json")
     ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--fuzz-runs", type=int, default=300)
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional regression vs stored baseline")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="record numbers but always exit 0")
     args = ap.parse_args()
 
     result = {"repeats": args.repeats, "benchmarks": {}, "explorer": {},
-              "cache_stats": {}, "reduction": {}}
-    worst = None
+              "explorer_e12": {}, "ppfuzz": {}, "cache_stats": {},
+              "reduction": {}, "vs_pr3": {}}
+    measured_tracked = {}
 
     for bench, baselines in SEED_NS.items():
         binary = os.path.join(args.build_dir, "bench", bench)
@@ -202,9 +286,12 @@ def main():
                 "current_queries_per_sec": round(1e9 / cur, 0) if cur else 0.0,
                 "speedup": round(speedup, 2),
             }
-            if worst is None or speedup < worst[1]:
-                worst = (f"{bench}/{name}", speedup)
-        if bench == "bench_explorer" and "BM_ExploreTwoThreads" in measured:
+            measured_tracked[f"{bench}/{name}"] = cur
+        if bench != "bench_explorer":
+            continue
+
+        # Seed comparison on the two-thread scope (historic metric).
+        if "BM_ExploreTwoThreads" in measured:
             counters = measured["BM_ExploreTwoThreads"]["counters"]
             cps = counters.get("configs", 0.0)
             result["explorer"] = {
@@ -213,11 +300,83 @@ def main():
                 "speedup": round(cps / SEED_EXPLORER_CONFIGS_PER_SEC, 2)
                 if cps else 0.0,
             }
+            measured_tracked["explorer_configs_per_sec/two_threads"] = cps
+
+        # The E12 reduction scope: configs/s per reduction mode, plus the
+        # per-config snapshot-traffic counters.
+        for idx, mode in enumerate(REDUCED_MODES):
+            name = f"BM_ExploreReduced/{idx}"
+            if name not in measured:
+                continue
+            counters = measured[name]["counters"]
+            cps = counters.get("configs", 0.0)
+            entry = {
+                "configs_per_sec": round(cps, 0),
+                "pr3_configs_per_sec": PR3_EXPLORER_CONFIGS_PER_SEC[mode],
+                "speedup_vs_pr3": round(
+                    cps / PR3_EXPLORER_CONFIGS_PER_SEC[mode], 2)
+                if cps else 0.0,
+            }
+            if "snapshotB/cfg" in counters:
+                entry["snapshot_bytes_per_config"] = round(
+                    counters["snapshotB/cfg"], 1)
+            if "deepcopy/cfg" in counters:
+                entry["deep_copies_per_config"] = round(
+                    counters["deepcopy/cfg"], 3)
+            result["explorer_e12"][mode] = entry
+            measured_tracked[f"explorer_configs_per_sec/{mode}"] = cps
+            if mode == "none":
+                if "snapshotB/cfg" in counters:
+                    measured_tracked["explorer_snapshot_bytes_per_config"] = \
+                        counters["snapshotB/cfg"]
+                if "deepcopy/cfg" in counters:
+                    measured_tracked["explorer_deep_copies_per_config"] = \
+                        counters["deepcopy/cfg"]
+
+    ppfuzz = os.path.join(args.build_dir, "tools", "ppfuzz")
+    if os.path.exists(ppfuzz):
+        execs = run_ppfuzz(ppfuzz, args.repeats, runs=args.fuzz_runs)
+        if execs is not None:
+            result["ppfuzz"] = {
+                "execs_per_sec": round(execs, 1),
+                "pr3_execs_per_sec": PR3_PPFUZZ_EXECS_PER_SEC,
+                "speedup_vs_pr3": round(execs / PR3_PPFUZZ_EXECS_PER_SEC, 2),
+            }
+            measured_tracked["ppfuzz_execs_per_sec"] = execs
 
     pprun = os.path.join(args.build_dir, "tools", "pprun")
     if os.path.exists(pprun):
         result["cache_stats"] = run_stats_scenario(pprun)
         result["reduction"] = run_reduction_scenario(pprun)
+
+    # Headline vs-PR3 summary: geometric mean of the E12 reduction-scope
+    # speedups plus the fuzzer's throughput gain.
+    e12 = [e["speedup_vs_pr3"] for e in result["explorer_e12"].values()
+           if e["speedup_vs_pr3"] > 0]
+    result["vs_pr3"] = {
+        "explorer_e12_speedup_geomean": round(geomean(e12), 2) if e12 else 0.0,
+        "ppfuzz_speedup": result["ppfuzz"].get("speedup_vs_pr3", 0.0),
+    }
+
+    # Regression gate: any tracked metric >tolerance worse than its stored
+    # baseline fails the run.
+    regressions = []
+    for metric, (kind, baseline) in TRACKED.items():
+        cur = measured_tracked.get(metric)
+        if cur is None or not baseline:
+            continue
+        if kind == "rate":
+            ratio = cur / baseline
+            bad = ratio < 1.0 - args.tolerance
+        else:
+            ratio = baseline / cur if cur else 0.0
+            bad = cur > baseline * (1.0 + args.tolerance)
+        if bad:
+            regressions.append((metric, baseline, cur, ratio))
+    result["regressions"] = [
+        {"metric": m, "baseline": b, "current": round(c, 1),
+         "ratio": round(r, 3)}
+        for m, b, c, r in regressions]
 
     with open(args.out, "w") as f:
         json.dump(result, f, indent=2, sort_keys=True)
@@ -233,17 +392,41 @@ def main():
         print(f"explorer throughput: {ex['current_configs_per_sec']:.0f} "
               f"configs/s vs seed {ex['seed_configs_per_sec']:.0f} "
               f"({ex['speedup']:.2f}x)")
+    for mode, e in result["explorer_e12"].items():
+        extra = ""
+        if "snapshot_bytes_per_config" in e:
+            extra = (f"  [{e['snapshot_bytes_per_config']:.0f} snapshot B/cfg,"
+                     f" {e['deep_copies_per_config']:.2f} deep copies/cfg]")
+        print(f"explore E12 {mode:<20} {e['configs_per_sec']:>9.0f} configs/s "
+              f"vs PR3 {e['pr3_configs_per_sec']:>9.0f} "
+              f"({e['speedup_vs_pr3']:.2f}x){extra}")
+    if result["ppfuzz"]:
+        pf = result["ppfuzz"]
+        print(f"ppfuzz: {pf['execs_per_sec']:.1f} execs/s vs PR3 "
+              f"{pf['pr3_execs_per_sec']:.1f} ({pf['speedup_vs_pr3']:.2f}x)")
+    if result["vs_pr3"]:
+        print(f"vs PR3: explorer E12 geomean "
+              f"{result['vs_pr3']['explorer_e12_speedup_geomean']:.2f}x, "
+              f"ppfuzz {result['vs_pr3']['ppfuzz_speedup']:.2f}x")
     if "transition_memo_hit_rate" in result["cache_stats"]:
         print("transition memo hit rate: "
               f"{result['cache_stats']['transition_memo_hit_rate']:.1%}")
+    if "chunk_share_rate" in result["cache_stats"]:
+        print("log chunk share rate: "
+              f"{result['cache_stats']['chunk_share_rate']:.1%}")
     if "config_ratio" in result["reduction"]:
         red = result["reduction"]
         print(f"reduction: {red['reduced_configs']} of "
               f"{red['full_configs']} configs "
               f"({red['config_ratio']:.1%}) under persistent+symmetry")
-    if worst:
-        print(f"slowest speedup: {worst[0]} at {worst[1]:.2f}x")
     print(f"wrote {args.out}")
+
+    if regressions:
+        for metric, baseline, cur, ratio in regressions:
+            print(f"REGRESSION: {metric} at {cur:.1f} vs baseline "
+                  f"{baseline:.1f} ({ratio:.2f}x)", file=sys.stderr)
+        if not args.no_gate:
+            return 1
     return 0
 
 

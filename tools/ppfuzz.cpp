@@ -33,6 +33,7 @@
 
 #include "fuzz/Campaign.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -164,7 +165,13 @@ int main(int argc, char **argv) {
   if (ReplayPath)
     return replay(ReplayPath, C.Diff);
 
+  auto T0 = std::chrono::steady_clock::now();
   CampaignReport R = Campaign(C).run();
+  double Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+                    .count();
   std::printf("%s", R.toString().c_str());
+  std::printf("throughput: %.1f execs/s (%llu runs in %.2fs)\n",
+              Secs > 0 ? static_cast<double>(R.RunsDone) / Secs : 0.0,
+              static_cast<unsigned long long>(R.RunsDone), Secs);
   return R.ok() ? 0 : 1;
 }
