@@ -74,6 +74,8 @@ BuiltCase pushpull::fromScenario(const Scenario &S) {
   B.ScheduleSeed = S.ScheduleSeed;
   B.MaxSteps = S.MaxSteps;
   B.ChangePoints = S.ChangePoints;
+  B.ReplayPicks = S.ReplayPicks;
+  B.DisabledCriterion = S.DisabledCriterion;
   B.Threads = S.Threads;
   return B;
 }
@@ -108,7 +110,9 @@ DiffReport DiffRunner::run(const BuiltCase &Case) const {
   // the machine (optimistic validation dry-runs), and those firings are
   // checked against the copy's own configuration.
   MachineConfig MC;
-  MC.DisabledCriterion = Config.DisabledCriterion;
+  MC.DisabledCriterion = Config.DisabledCriterion.empty()
+                             ? Case.DisabledCriterion
+                             : Config.DisabledCriterion;
   if (Config.CheckInvariantsEachRule) {
     MC.OnRuleApplied = [&Report, this](const PushPullMachine &FM, RuleKind K,
                                        TxId T) {
@@ -149,6 +153,7 @@ DiffReport DiffRunner::run(const BuiltCase &Case) const {
   SC.Seed = Case.ScheduleSeed;
   SC.MaxSteps = Case.MaxSteps;
   SC.ChangePoints = Case.ChangePoints;
+  SC.ReplayPicks = Case.ReplayPicks;
   Report.Stats = Scheduler(SC).run(*Engine);
 
   // (1) Atomic-oracle replay in commit order — the witness Theorem 5.17's

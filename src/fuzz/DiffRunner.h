@@ -121,6 +121,11 @@ struct BuiltCase {
   uint64_t ScheduleSeed = 1;
   uint64_t MaxSteps = 30000;
   unsigned ChangePoints = 3;
+  /// For SchedulePolicy::Replay (`.ppsched` reproducers).
+  std::vector<uint32_t> ReplayPicks;
+  /// Scenario-level fault injection (`inject ...`); the runner applies it
+  /// when DiffConfig::DisabledCriterion is empty.
+  std::string DisabledCriterion;
   std::vector<std::vector<CodePtr>> Threads;
 };
 

@@ -27,6 +27,7 @@
 #include "tm/PessimisticCommitTM.h"
 
 #include <cctype>
+#include <cstdlib>
 #include <sstream>
 
 using namespace pushpull;
@@ -267,6 +268,8 @@ ScenarioParseResult pushpull::parseScenario(const std::string &Text) {
         S->Policy = SchedulePolicy::RoundRobin;
       else if (Ws[1] == "pct")
         S->Policy = SchedulePolicy::PriorityChangePoints;
+      else if (Ws[1] == "replay")
+        S->Policy = SchedulePolicy::Replay;
       else
         return Fail(N + 1, "unknown schedule policy '" + Ws[1] + "'");
       auto Opts = options(Ws, 2);
@@ -274,6 +277,34 @@ ScenarioParseResult pushpull::parseScenario(const std::string &Text) {
       S->MaxSteps = numOr(Opts, "maxsteps", 200000);
       S->ChangePoints =
           static_cast<unsigned>(numOr(Opts, "changepoints", 3));
+      if (S->Policy == SchedulePolicy::Replay) {
+        std::string Picks = strOr(Opts, "picks", "");
+        if (Picks.empty())
+          return Fail(N + 1, "schedule replay needs picks=t0,t1,...");
+        for (const std::string &P : splitOn(Picks, ',')) {
+          if (P.empty())
+            continue;
+          char *End = nullptr;
+          unsigned long V = std::strtoul(P.c_str(), &End, 10);
+          if (End == P.c_str() || *End != '\0')
+            return Fail(N + 1, "bad replay pick '" + P + "'");
+          S->ReplayPicks.push_back(static_cast<uint32_t>(V));
+        }
+      }
+      continue;
+    }
+    if (Directive == "inject") {
+      // Fault injection: the rest of the line is the exact paper-style
+      // criterion name to skip, e.g. `inject PUSH criterion (ii)`.
+      if (Ws.size() < 2)
+        return Fail(N + 1, "inject needs a criterion name");
+      size_t At = Line.find("inject");
+      std::string Name = Line.substr(At + 6);
+      size_t B = Name.find_first_not_of(" \t");
+      size_t E = Name.find_last_not_of(" \t\r");
+      if (B == std::string::npos)
+        return Fail(N + 1, "inject needs a criterion name");
+      S->DisabledCriterion = Name.substr(B, E - B + 1);
       continue;
     }
     if (Directive == "thread") {
@@ -321,6 +352,7 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   MoverChecker Movers(*S.Spec, S.Movers, S.Pre);
   MachineConfig MC;
   MC.RecordAudit = true; // Scenario runs are small; keep the discharge log.
+  MC.DisabledCriterion = S.DisabledCriterion;
   PushPullMachine M(*S.Spec, Movers, MC);
   for (const auto &P : S.Threads)
     M.addThread(P);
@@ -338,6 +370,7 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   SC.Seed = S.ScheduleSeed;
   SC.MaxSteps = S.MaxSteps;
   SC.ChangePoints = S.ChangePoints;
+  SC.ReplayPicks = S.ReplayPicks;
   Scheduler Sched(SC);
   Out.Stats = Sched.run(*Engine);
   Out.Trace = M.trace().toString();

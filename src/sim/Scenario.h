@@ -52,12 +52,18 @@ struct Scenario {
   std::string Engine = "optimistic";
   /// Engine key=value options (seed, deadlock, abort%, conflict%, htm=...).
   std::map<std::string, std::string> EngineOpts;
-  /// Scheduler policy ("random", "roundrobin", or "pct"), seed, step
-  /// budget, and PCT change-point count.
+  /// Scheduler policy ("random", "roundrobin", "pct", or "replay"), seed,
+  /// step budget, and PCT change-point count.
   SchedulePolicy Policy = SchedulePolicy::RandomUniform;
   uint64_t ScheduleSeed = 1;
   uint64_t MaxSteps = 200000;
   unsigned ChangePoints = 3;
+  /// For the "replay" policy: the recorded pick sequence
+  /// (`schedule replay picks=0,1,0,...` — the `.ppsched` format).
+  std::vector<uint32_t> ReplayPicks;
+  /// Fault injection (`inject PUSH criterion (ii)`): forwarded to
+  /// MachineConfig::DisabledCriterion.  Empty in production scenarios.
+  std::string DisabledCriterion;
   /// Per-thread transaction sequences.
   std::vector<std::vector<CodePtr>> Threads;
   /// Requested checks: "serializability", "serializability-any",

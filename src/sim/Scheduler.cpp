@@ -28,6 +28,35 @@ RunStats Scheduler::run(TMEngine &E) {
   int64_t NextDropPriority = -1; // Drops go below every initial priority.
 
   while (!M.quiescent() && Stats.SchedulerSteps < Config.MaxSteps) {
+    // Replay consumes the recording verbatim — no runnable filtering, so
+    // a replayed run performs exactly the recorded step sequence.
+    if (Config.Policy == SchedulePolicy::Replay) {
+      if (Stats.SchedulerSteps >= Config.ReplayPicks.size())
+        break;
+      TxId Pick = Config.ReplayPicks[Stats.SchedulerSteps];
+      if (Pick >= NumThreads)
+        break;
+      if (Config.CapturePicks)
+        Config.CapturePicks->push_back(static_cast<uint32_t>(Pick));
+      StepStatus S = E.step(Pick);
+      ++Stats.SchedulerSteps;
+      switch (S) {
+      case StepStatus::Blocked:
+        ++Stats.BlockedSteps;
+        break;
+      case StepStatus::Committed:
+        ++Stats.Commits;
+        break;
+      case StepStatus::Aborted:
+        ++Stats.Aborts;
+        break;
+      case StepStatus::Progress:
+      case StepStatus::Finished:
+        break;
+      }
+      continue;
+    }
+
     // Collect runnable threads.
     std::vector<TxId> Runnable;
     for (const ThreadState &Th : M.threads())
@@ -36,11 +65,10 @@ RunStats Scheduler::run(TMEngine &E) {
     if (Runnable.empty())
       break;
 
-    TxId Pick;
+    TxId Pick = Runnable[0];
     switch (Config.Policy) {
     case SchedulePolicy::RoundRobin: {
       // Next runnable thread at or after the cursor.
-      Pick = Runnable[0];
       for (TxId T : Runnable)
         if (T >= RoundRobinNext) {
           Pick = T;
@@ -62,8 +90,12 @@ RunStats Scheduler::run(TMEngine &E) {
           Priority[Pick] = NextDropPriority--; // Drop below everyone.
       break;
     }
+    case SchedulePolicy::Replay: // Handled before the runnable filter.
+      return Stats;
     }
 
+    if (Config.CapturePicks)
+      Config.CapturePicks->push_back(static_cast<uint32_t>(Pick));
     StepStatus S = E.step(Pick);
     ++Stats.SchedulerSteps;
     switch (S) {

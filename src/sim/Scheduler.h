@@ -22,6 +22,8 @@
 #include "support/Rng.h"
 #include "tm/Engine.h"
 
+#include <vector>
+
 namespace pushpull {
 
 /// Thread-selection policy.
@@ -34,6 +36,12 @@ enum class SchedulePolicy {
   /// drops to the bottom.  Probabilistically good at driving rare
   /// orderings that uniform-random scheduling misses.
   PriorityChangePoints,
+  /// Recorded-schedule replay: thread picks come verbatim from
+  /// SchedulerConfig::ReplayPicks (one engine step per entry, done threads
+  /// included — stepping a finished thread is a deterministic Finished).
+  /// The run ends when the recording is exhausted.  This is how ppstress
+  /// re-executes a captured `.ppsched` window deterministically.
+  Replay,
 };
 
 /// Scheduler knobs.
@@ -45,6 +53,13 @@ struct SchedulerConfig {
   /// For PriorityChangePoints: how many priority-drop points to scatter
   /// over the run (the PCT depth parameter d-1).
   unsigned ChangePoints = 3;
+  /// For Replay: the recorded thread-pick sequence.  Entries naming a
+  /// nonexistent thread end the run (a recording/config mismatch must not
+  /// fabricate steps).
+  std::vector<uint32_t> ReplayPicks{};
+  /// When set, every pick actually stepped is appended here, so a random
+  /// or PCT run can be re-executed later under Replay.
+  std::vector<uint32_t> *CapturePicks = nullptr;
 };
 
 /// Runs one engine to quiescence (or budget exhaustion).

@@ -2,6 +2,8 @@
 
 #include "sim/Stats.h"
 
+#include <cstdio>
+
 using namespace pushpull;
 
 double RunStats::committedOpsPerStep() const {
@@ -38,6 +40,52 @@ std::string RunStats::toString() const {
            std::to_string(ruleCount(Kinds[I]));
   }
   Out += "] committedOps=" + std::to_string(CommittedOps);
+  return Out;
+}
+
+double StressStats::commitsPerSec() const {
+  return ElapsedSec > 0 ? static_cast<double>(Commits) / ElapsedSec : 0.0;
+}
+
+double StressStats::abortsPerSec() const {
+  return ElapsedSec > 0 ? static_cast<double>(Aborts) / ElapsedSec : 0.0;
+}
+
+double StressStats::meanWindowCheckUs() const {
+  return Windows ? static_cast<double>(WindowCheckNs) /
+                       static_cast<double>(Windows) / 1000.0
+                 : 0.0;
+}
+
+void StressStats::absorb(const StressStats &W) {
+  Steps += W.Steps;
+  Commits += W.Commits;
+  Aborts += W.Aborts;
+  Transactions += W.Transactions;
+  Windows += W.Windows;
+  WindowFailures += W.WindowFailures;
+  RingRecords += W.RingRecords;
+  RingSpins += W.RingSpins;
+  WindowCheckNs += W.WindowCheckNs;
+  if (W.MaxWindowCheckNs > MaxWindowCheckNs)
+    MaxWindowCheckNs = W.MaxWindowCheckNs;
+}
+
+std::string StressStats::toString() const {
+  char Rate[64];
+  std::snprintf(Rate, sizeof(Rate), "%.0f", commitsPerSec());
+  std::string Out = "workers=" + std::to_string(Workers) +
+                    " steps=" + std::to_string(Steps) +
+                    " commits=" + std::to_string(Commits) +
+                    " aborts=" + std::to_string(Aborts) +
+                    " commits/s=" + Rate;
+  Out += " windows=" + std::to_string(Windows);
+  if (WindowFailures)
+    Out += " FAILURES=" + std::to_string(WindowFailures);
+  std::snprintf(Rate, sizeof(Rate), "%.1f", meanWindowCheckUs());
+  Out += " check-us=" + std::string(Rate) +
+         " rings=" + std::to_string(RingRecords) + "/" +
+         std::to_string(RingSpins) + "sp";
   return Out;
 }
 

@@ -55,6 +55,44 @@ struct RunStats {
   std::string toString() const;
 };
 
+/// Aggregated counters for one real-concurrency stress run (ppstress).
+/// Workers accumulate their private copies; the runner sums them after
+/// join, so no field needs to be atomic.
+struct StressStats {
+  /// OS worker threads driven.
+  unsigned Workers = 0;
+  /// Engine steps, commits, and aborts summed over all workers.
+  uint64_t Steps = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  /// Transactions the workload generated (committed + in flight at stop).
+  uint64_t Transactions = 0;
+  /// Commit windows the arbiter closed and the checker validated.
+  uint64_t Windows = 0;
+  /// Windows whose shadow replay disagreed with the live run, failed the
+  /// atomic oracle, or left the opaque fragment unexpectedly.
+  uint64_t WindowFailures = 0;
+  /// Schedule records pushed through the per-worker rings, and the times
+  /// a full ring made the producer spin-wait for the checker.
+  uint64_t RingRecords = 0;
+  uint64_t RingSpins = 0;
+  /// Wall-clock run time and window-check latency (checker-side).
+  double ElapsedSec = 0.0;
+  uint64_t WindowCheckNs = 0;
+  uint64_t MaxWindowCheckNs = 0;
+
+  double commitsPerSec() const;
+  double abortsPerSec() const;
+  /// Mean checker latency per window, in microseconds.
+  double meanWindowCheckUs() const;
+
+  /// Merge one worker's (or one window's) counters into the total.
+  void absorb(const StressStats &W);
+
+  /// One-line rendering for ppstress/bench output.
+  std::string toString() const;
+};
+
 /// Effectiveness counters for the interning/memoization layer of one run:
 /// the spec's hash-consing table plus the mover/precongruence caches that
 /// sit on top of it.  Purely observational — gathering them never changes

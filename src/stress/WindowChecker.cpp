@@ -1,0 +1,169 @@
+//===- stress/WindowChecker.cpp - Window replay validation -------------------===//
+
+#include "stress/WindowChecker.h"
+
+#include "check/Opacity.h"
+#include "check/Serializability.h"
+#include "fuzz/DiffRunner.h"
+#include "lang/Printer.h"
+#include "sim/Scenario.h"
+
+#include <chrono>
+
+using namespace pushpull;
+
+WindowChecker::WindowChecker(WindowCheckConfig C, std::string &Error)
+    : Config(std::move(C)) {
+  if (!Config.Spec) {
+    Error = "window checker has no spec";
+    return;
+  }
+  Movers = std::make_unique<MoverChecker>(*Config.Spec, Config.Movers,
+                                          Config.Pre);
+  MachineConfig MC;
+  // The shadow must *behave* identically to the live machine, so the
+  // fault injection carries over; the trace is recorded because the
+  // opacity classifier reads it (the live machine skips it for speed —
+  // recording does not affect behavior).
+  MC.DisabledCriterion = Config.DisabledCriterion;
+  MC.RecordTrace = true;
+  MC.RecordAudit = false;
+  Shadow = std::make_unique<PushPullMachine>(*Config.Spec, *Movers, MC);
+  for (const auto &P : Config.Threads)
+    Shadow->addThread(P);
+  std::string EngineError;
+  Engine = makeEngine(Config.Engine, Config.EngineOpts, *Shadow, EngineError);
+  if (!Engine)
+    Error = "window checker engine: " + EngineError;
+}
+
+WindowChecker::~WindowChecker() = default;
+
+void WindowChecker::fail(const std::string &Detail) {
+  if (!Failure.empty())
+    return;
+  Failure = "window " + std::to_string(WindowEpoch) + " (after " +
+            std::to_string(Picks.size()) + " steps): " + Detail;
+  ++Stats.WindowFailures;
+}
+
+bool WindowChecker::feed(const StressRecord &R) {
+  if (!Failure.empty() || !Engine)
+    return false;
+  if (!WindowOpen) {
+    WindowEpoch = R.Epoch;
+    WindowOpen = true;
+  } else if (R.Epoch > WindowEpoch) {
+    if (!closeWindow())
+      return false;
+    WindowEpoch = R.Epoch;
+    WindowOpen = true;
+  }
+
+  Picks.push_back(R.Pick);
+  if (R.Pick >= Shadow->threads().size()) {
+    fail("recorded pick names nonexistent thread " + std::to_string(R.Pick));
+    return false;
+  }
+  StepStatus S = Engine->step(R.Pick);
+  const ThreadState &Th = Shadow->thread(R.Pick);
+  uint32_t LSize = static_cast<uint32_t>(Th.L.size());
+  uint32_t GSize = static_cast<uint32_t>(Shadow->global().size());
+  uint32_t Commits = static_cast<uint32_t>(Shadow->committed().size());
+  if (static_cast<uint8_t>(S) != R.Status || LSize != R.LSize ||
+      GSize != R.GSize || Commits != R.Commits) {
+    fail("shadow replay diverged at step " + std::to_string(R.Order) +
+         " (thread " + std::to_string(R.Pick) + "): live {" +
+         toString(static_cast<StepStatus>(R.Status)) +
+         " L=" + std::to_string(R.LSize) + " G=" + std::to_string(R.GSize) +
+         " commits=" + std::to_string(R.Commits) + "} vs shadow {" +
+         toString(S) + " L=" + std::to_string(LSize) +
+         " G=" + std::to_string(GSize) +
+         " commits=" + std::to_string(Commits) + "}");
+    return false;
+  }
+  return true;
+}
+
+bool WindowChecker::closeWindow() {
+  if (!Failure.empty() || !Engine)
+    return false;
+  if (!WindowOpen)
+    return true;
+  WindowOpen = false;
+  ++Stats.Windows;
+
+  uint64_t CommitsNow = Shadow->committed().size();
+  auto Start = std::chrono::steady_clock::now();
+  if (CommitsNow > CheckedCommits) {
+    // Atomic-oracle replay of everything committed so far, in commit
+    // order — the Theorem 5.17 witness.  The committed projection only
+    // grows, so each close re-adjudicates a genuine machine prefix.
+    SerializabilityChecker Oracle(*Config.Spec, Config.Atomic, Config.Pre);
+    SerializabilityVerdict V = Oracle.checkCommitOrder(*Shadow);
+    if (V.Serializable == Tri::No)
+      fail("atomic oracle: committed prefix not serializable in commit "
+           "order — " +
+           V.Detail);
+    CheckedCommits = CommitsNow;
+  }
+  if (Failure.empty() && engineExpectedOpaque(Config.Engine)) {
+    OpacityReport O = classifyTrace(Shadow->trace());
+    if (!O.InOpaqueFragment)
+      fail("opacity: " + std::to_string(O.UncommittedPulls) + "/" +
+           std::to_string(O.TotalPulls) +
+           " uncommitted pulls — outside the opaque fragment for engine " +
+           Config.Engine);
+  }
+  uint64_t Ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  Stats.WindowCheckNs += Ns;
+  if (Ns > Stats.MaxWindowCheckNs)
+    Stats.MaxWindowCheckNs = Ns;
+  return Failure.empty();
+}
+
+std::string WindowChecker::dumpSchedule() const {
+  std::string Out =
+      "# ppstress window reproducer (replay with: ppstress --replay <file>\n"
+      "# or plain pprun <file>)\n";
+  if (!Failure.empty())
+    Out += "# failure: " + Failure + "\n";
+  Out += "spec " + Config.SpecKind;
+  for (const auto &[K, V] : Config.SpecOpts)
+    Out += " " + K + (V.empty() ? "" : "=" + V);
+  Out += "\nengine " + Config.Engine;
+  for (const auto &[K, V] : Config.EngineOpts)
+    Out += " " + K + (V.empty() ? "" : "=" + V);
+  Out += "\nschedule replay picks=";
+  for (size_t I = 0; I < Picks.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(Picks[I]);
+  }
+  Out += "\n";
+  if (!Config.DisabledCriterion.empty())
+    Out += "inject " + Config.DisabledCriterion + "\n";
+  for (const auto &Txs : Config.Threads) {
+    Out += "thread ";
+    for (size_t I = 0; I < Txs.size(); ++I) {
+      if (I)
+        Out += "; ";
+      Out += printCode(Txs[I]);
+    }
+    Out += "\n";
+  }
+  Out += "check serializability\ncheck opacity\n";
+  return Out;
+}
+
+void pushpull::stampFingerprint(StressRecord &R, const PushPullMachine &M,
+                                uint32_t Pick, StepStatus Status) {
+  R.Pick = Pick;
+  R.Status = static_cast<uint8_t>(Status);
+  R.LSize = static_cast<uint32_t>(M.thread(Pick).L.size());
+  R.GSize = static_cast<uint32_t>(M.global().size());
+  R.Commits = static_cast<uint32_t>(M.committed().size());
+}

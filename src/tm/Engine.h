@@ -59,6 +59,9 @@ public:
   uint64_t aborts() const { return Aborts; }
 
   PushPullMachine &machine() { return *M; }
+  /// Const view for observers (the stress runner's capture hooks read
+  /// log sizes and commit counts between steps without mutation rights).
+  const PushPullMachine &machine() const { return *M; }
 
 protected:
   /// Roll the in-progress transaction of \p T all the way back: from the

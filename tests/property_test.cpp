@@ -17,12 +17,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "check/Serializability.h"
+#include "core/Invariants.h"
 #include "core/Machine.h"
 #include "core/Mover.h"
 #include "core/Precongruence.h"
+#include "lang/Parser.h"
 #include "sim/Scheduler.h"
 #include "sim/Workload.h"
 #include "spec/BankSpec.h"
+#include "spec/CompositeSpec.h"
 #include "spec/CounterSpec.h"
 #include "spec/MapSpec.h"
 #include "spec/QueueSpec.h"
@@ -60,8 +63,20 @@ std::shared_ptr<SequentialSpec> makeSpec(const std::string &Kind) {
     return std::make_shared<QueueSpec>("q", 2, 2);
   if (Kind == "bank")
     return std::make_shared<BankSpec>("bank", 2, 3, 1);
+  if (Kind == "composite") {
+    // A small Section 7-style product: a boosted set next to a counter.
+    auto S = std::make_shared<CompositeSpec>();
+    S->add("s", std::make_shared<SetSpec>("s", 2));
+    S->add("c", std::make_shared<CounterSpec>("c", 1, 3));
+    return S;
+  }
   return nullptr;
 }
+
+/// The seven spec instances every lemma battery sweeps: the six
+/// primitive families plus the disjoint product.
+const std::string AllSevenSpecs[] = {"register", "counter", "set",   "map",
+                                     "queue",    "bank",    "composite"};
 
 /// Generate a random *allowed* log by walking the spec with probe ops.
 std::vector<Operation> randomAllowedLog(const SequentialSpec &S, Rng &R,
@@ -107,8 +122,7 @@ TEST_P(PrefixClosureTest, RandomAllowedLogsArePrefixClosed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSpecs, PrefixClosureTest,
-                         ::testing::Values("register", "counter", "set",
-                                           "map", "queue", "bank"),
+                         ::testing::ValuesIn(AllSevenSpecs),
                          [](const auto &Info) { return Info.param; });
 
 // --- Definition 4.1 law -------------------------------------------------------
@@ -383,6 +397,218 @@ TEST_P(Lemma51Test, MoverAllowsLaw) {
 INSTANTIATE_TEST_SUITE_P(AllSpecs, Lemma51Test,
                          ::testing::Values("register", "counter", "set",
                                            "map", "bank"),
+                         [](const auto &Info) { return Info.param; });
+
+// --- Lemma 5.4 ---------------------------------------------------------------
+
+class Lemma54Test : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Lemma54Test, BlockSlideLaw) {
+  // Lemma 5.4 (block slide): if every x in l2 is a left-mover of op, the
+  // whole block slides — l1.l2.op =< l1.op.l2.  This is the inductive
+  // lift of Definition 4.1 the PUSH rule's criterion (ii) relies on when
+  // it commutes a pushed suffix past a foreign operation.
+  auto Spec = makeSpec(GetParam());
+  ASSERT_TRUE(Spec);
+  MoverChecker Movers(*Spec);
+  PrecongruenceChecker Pre(*Spec);
+  Rng R(541);
+  std::vector<Operation> Probes = Spec->probeOps();
+  int Exercised = 0;
+  for (int Trial = 0; Trial < 80 && Exercised < 20; ++Trial) {
+    std::vector<Operation> L1 = randomAllowedLog(*Spec, R, 4);
+    std::vector<Operation> L2 = randomAllowedLog(*Spec, R, 3);
+    if (L2.empty())
+      continue; // An empty block slides trivially.
+    for (size_t I = 0; I < L2.size(); ++I)
+      L2[I].Id = 2000 + I;
+    Operation Op = R.pick(Probes);
+    Op.Id = 9999;
+    // Hypothesis: the entire block l2 moves left of op.
+    Tri Mover = Tri::Yes;
+    for (const Operation &X : L2)
+      Mover = triAnd(Mover, Movers.leftMover(X, Op));
+    if (Mover != Tri::Yes)
+      continue;
+    std::vector<Operation> Slid = L1, Unslid = L1;
+    Unslid.insert(Unslid.end(), L2.begin(), L2.end());
+    Unslid.push_back(Op);
+    Slid.push_back(Op);
+    Slid.insert(Slid.end(), L2.begin(), L2.end());
+    if (!Spec->allowed(Unslid))
+      continue; // Vacuous: the left log denotes nothing.
+    ++Exercised;
+    EXPECT_NE(Pre.checkLogs(Unslid, Slid), Tri::No)
+        << GetParam() << ": Lemma 5.4 violated sliding "
+        << Op.toString() << " across a " << L2.size() << "-op block";
+  }
+  EXPECT_GT(Exercised, 0) << "sweep exercised no instances";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, Lemma54Test,
+                         ::testing::ValuesIn(AllSevenSpecs),
+                         [](const auto &Info) { return Info.param; });
+
+// --- Lemma 5.6 ---------------------------------------------------------------
+
+class Lemma56Test : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Lemma56Test, DenotationSubsetImpliesPrecongruence) {
+  // Lemma 5.6: [[l1]] subset-of [[l2]] implies l1 =< l2.  This is exactly
+  // the subset shortcut PrecongruenceChecker::check prunes with, so the
+  // battery pins the shortcut's soundness from the outside: whenever the
+  // denotations nest, the full coinductive search must answer Yes, and
+  // contrapositively a No verdict must come with non-nested denotations.
+  auto Spec = makeSpec(GetParam());
+  ASSERT_TRUE(Spec);
+  PrecongruenceChecker Pre(*Spec);
+  Rng R(1733);
+  int Exercised = 0, Proper = 0;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    std::vector<Operation> L1 = randomAllowedLog(*Spec, R, 5);
+    // Every third trial compares a log against itself — the reflexive
+    // instance the diagonal of the lemma guarantees.
+    bool Reflexive = Trial % 3 == 0;
+    std::vector<Operation> L2 =
+        Reflexive ? L1 : randomAllowedLog(*Spec, R, 5);
+    StateSet D1 = Spec->denote(L1);
+    StateSet D2 = Spec->denote(L2);
+    Tri V = Pre.checkLogs(L1, L2);
+    if (D1.subsetOf(D2)) {
+      ++Exercised;
+      if (!Reflexive)
+        ++Proper;
+      EXPECT_EQ(V, Tri::Yes)
+          << GetParam() << ": Lemma 5.6 violated on trial " << Trial;
+    } else if (V == Tri::No) {
+      // Soundness of the contrapositive: a refuted pair can never have
+      // nested denotations.
+      EXPECT_FALSE(D1.subsetOf(D2)) << GetParam();
+    }
+  }
+  EXPECT_GT(Exercised, 0) << "sweep exercised no instances";
+  (void)Proper; // Non-reflexive subsets depend on the spec's alphabet.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, Lemma56Test,
+                         ::testing::ValuesIn(AllSevenSpecs),
+                         [](const auto &Info) { return Info.param; });
+
+// --- Lemma 5.13 --------------------------------------------------------------
+
+namespace {
+
+/// Two contended hand-written threads per spec family, touching
+/// overlapping keys so pulls and pushes interleave.
+std::vector<std::string> lemma513Programs(const std::string &Kind) {
+  if (Kind == "register")
+    return {"tx { mem.write(0, 1); a := mem.read(1) }",
+            "tx { mem.write(1, 2); b := mem.read(0) }"};
+  if (Kind == "counter")
+    return {"tx { c.inc(0); a := c.read(1) }",
+            "tx { c.inc(1); c.dec(0) }"};
+  if (Kind == "set")
+    return {"tx { a := set.add(0); b := set.contains(1) }",
+            "tx { c := set.add(1); d := set.remove(0) }"};
+  if (Kind == "map")
+    return {"tx { map.put(0, 1); a := map.get(1) }",
+            "tx { map.put(1, 0); b := map.remove(0) }"};
+  if (Kind == "queue")
+    return {"tx { a := q.enq(0); b := q.deq() }", "tx { c := q.enq(1) }"};
+  if (Kind == "bank")
+    return {"tx { bank.deposit(0, 1); a := bank.balance(1) }",
+            "tx { b := bank.transfer(0, 1, 1) }"};
+  if (Kind == "composite")
+    return {"tx { a := s.add(0); c.inc(0) }",
+            "tx { b := s.contains(1); c.dec(0) }"};
+  return {};
+}
+
+} // namespace
+
+class Lemma513Test : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Lemma513Test, ILocalReorderHoldsAlongRandomRuleWalks) {
+  // Lemma 5.13 (I_localReorder): at every reachable configuration, each
+  // thread's effL(L) is a precongruence-preserving reordering of the
+  // chronological local log.  Walk the seven rules at random — including
+  // the backward ones, which are where a reordering bug would creep in —
+  // and audit the invariant as we go.
+  auto Spec = makeSpec(GetParam());
+  ASSERT_TRUE(Spec);
+  MoverChecker Movers(*Spec);
+  PrecongruenceChecker Pre(*Spec);
+  PushPullMachine M(*Spec, Movers);
+  for (const std::string &P : lemma513Programs(GetParam()))
+    M.addThread({parseOrDie(P)});
+  for (TxId T = 0; T < 2; ++T)
+    ASSERT_TRUE(M.beginTx(T));
+
+  auto Audit = [&](int Step) {
+    for (TxId T = 0; T < 2; ++T) {
+      const ThreadState &Th = M.thread(T);
+      if (!Th.InTx)
+        continue;
+      InvariantReport Rep = checkILocalReorder(Th, M.global(), Pre, *Spec);
+      EXPECT_TRUE(Rep.Holds) << GetParam() << " step " << Step << " t" << T
+                             << ": " << Rep.Which << ": " << Rep.Detail;
+    }
+  };
+
+  Rng R(4211);
+  int Audited = 0;
+  for (int Step = 0; Step < 160; ++Step) {
+    TxId T = static_cast<TxId>(R.below(2));
+    const ThreadState &Th = M.thread(T);
+    if (!Th.InTx)
+      continue;
+    switch (R.below(6)) {
+    case 0: { // APP
+      auto Choices = M.appChoices(T);
+      if (!Choices.empty()) {
+        const AppChoice &C = R.pick(Choices);
+        M.app(T, C.StepIdx, R.below(C.Completions.size()));
+      }
+      break;
+    }
+    case 1: // UNAPP
+      M.unapp(T);
+      break;
+    case 2: { // PUSH
+      auto Idx = Th.L.indicesOf(LocalKind::NotPushed);
+      if (!Idx.empty())
+        M.push(T, R.pick(Idx));
+      break;
+    }
+    case 3: { // UNPUSH
+      auto Idx = Th.L.indicesOf(LocalKind::Pushed);
+      if (!Idx.empty())
+        M.unpush(T, R.pick(Idx));
+      break;
+    }
+    case 4: { // PULL
+      if (!M.global().empty())
+        M.pull(T, R.below(M.global().size()));
+      break;
+    }
+    case 5: { // UNPULL
+      auto Idx = Th.L.indicesOf(LocalKind::Pulled);
+      if (!Idx.empty())
+        M.unpull(T, R.pick(Idx));
+      break;
+    }
+    }
+    if (Step % 8 == 0) {
+      Audit(Step);
+      ++Audited;
+    }
+  }
+  Audit(160);
+  EXPECT_GT(Audited, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, Lemma513Test,
+                         ::testing::ValuesIn(AllSevenSpecs),
                          [](const auto &Info) { return Info.param; });
 
 // --- Engine matrix under PCT scheduling ----------------------------------------
