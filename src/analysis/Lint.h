@@ -1,0 +1,88 @@
+//===- analysis/Lint.h - Semantic .pp scenario linter -----------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A semantic linter for `.pp` scenario files (ppcheck --lint): a static
+/// pass over the parsed scenario and thread ASTs that catches the
+/// mistakes the runtime either silently tolerates (a call that can never
+/// be enabled simply never fires; an unbound argument variable makes its
+/// branch unschedulable) or only reports deep into a run (unknown engine
+/// names surface when the scenario is executed).  Checks:
+///
+///   errors:
+///     parse-error              scenario or program text does not parse
+///     unknown-engine           engine name not in allEngineNames()
+///     unknown-check            check name the runner does not implement
+///     unknown-inject           inject name no machine criterion matches
+///     unknown-object           call on an object no spec part declares
+///     unknown-method           object exists, method does not
+///     arity-mismatch           wrong number of call arguments
+///     void-result-binding      `v := obj.m(...)` on a method with no
+///                              result (v stays unbound at runtime)
+///     uninitialized-variable   argument variable not definitely assigned
+///                              on every path to the call
+///   warnings:
+///     empty-transaction        tx body performs no method call
+///     dead-choice              both branches of `+` are structurally
+///                              identical
+///     dead-loop                loop body performs no method call
+///     never-enabled            literal-argument call with no completion
+///                              from any reachable spec state (can never
+///                              fire; its statement is unreachable)
+///
+/// Definite assignment is a must-defined dataflow over the Example 1
+/// grammar: sequence accumulates bindings, choice intersects its
+/// branches, a loop body is checked against the loop-entry set and
+/// contributes nothing afterwards (it may run zero times), and bindings
+/// persist across a thread's transactions (the machine threads one sigma
+/// through the whole program).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_ANALYSIS_LINT_H
+#define PUSHPULL_ANALYSIS_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+enum class LintSeverity { Error, Warning };
+
+/// One diagnostic, renderable machine-readably as
+/// `file:line: severity: [check] message`.
+struct LintDiag {
+  std::string File;
+  size_t Line = 0;
+  LintSeverity Severity = LintSeverity::Error;
+  /// Kebab-case check id (see the file comment).
+  std::string Check;
+  std::string Message;
+
+  std::string render() const;
+};
+
+struct LintReport {
+  std::vector<LintDiag> Diags;
+
+  size_t errors() const;
+  size_t warnings() const;
+  /// Clean means zero diagnostics of either severity.
+  bool clean() const { return Diags.empty(); }
+  std::string render() const;
+};
+
+/// Lint scenario text; \p FileName only labels diagnostics.
+LintReport lintScenarioText(const std::string &FileName,
+                            const std::string &Text);
+
+/// Lint a file from disk (unreadable files produce a parse-error diag).
+LintReport lintScenarioFile(const std::string &Path);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_ANALYSIS_LINT_H

@@ -1,0 +1,181 @@
+//===- analysis/Shapes.h - Abstract log/state shapes ------------*- C++ -*-===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-shape domain of the static analyses (tools/ppcheck).
+///
+/// Every Figure 5 criterion evaluated for a rule of thread t reads only
+///
+///   * t's remaining code (CMT's fin(c), APP's step(c)),
+///   * t's local log L (entry order, flags, and operation content),
+///   * the shared log G (entry order, flags, operation content, and
+///     whether each uncommitted entry is owned by t or by someone else).
+///
+/// So for the purpose of checking rule guards, machine configurations
+/// quotient down to a small finite domain: a bounded shared log and
+/// bounded local logs over a finite operation alphabet drawn from the
+/// specification's probe set.  This file defines that domain
+/// (AbstractShape), enumerates every *well-formed* shape within a scope
+/// smallest-first, and materializes shapes into real machine
+/// configurations via PushPullMachine::installForAnalysis — the audits in
+/// analysis/Obligations.* and analysis/IndependenceAudit.* then probe
+/// individual rules with no scheduler in the loop.
+///
+/// Well-formedness is the structural + denotational fragment of the
+/// Section 5.3 invariants that every *reachable* configuration satisfies
+/// (well-formed shapes are a superset of reachable ones; DESIGN.md §13
+/// gives the argument and the resulting soundness statement):
+///
+///   * a pshd entry of thread t references an uncommitted G entry owned
+///     by t, and every uncommitted G entry owned by t is referenced by
+///     exactly one pshd entry of t (I_LG, Lemma 5.7);
+///   * a pld entry references a G entry that is committed or owned by
+///     another thread, and no G entry is referenced twice by one thread
+///     (PULL criterion (i) is conserved);
+///   * threads outside a transaction have empty local logs and own no
+///     uncommitted G entries;
+///   * [[G]] and every [[L_t]] are non-empty (PUSH (iii) / APP (ii) /
+///     PULL (ii) conserve allowed-ness of the logs they extend).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PUSHPULL_ANALYSIS_SHAPES_H
+#define PUSHPULL_ANALYSIS_SHAPES_H
+
+#include "core/Log.h"
+#include "core/Machine.h"
+#include "core/Spec.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pushpull {
+
+/// Bounds of one exhaustive shape enumeration.  The defaults are the
+/// scope at which every injectable criterion bug is convictable (see
+/// tests/analysis_test.cpp); larger scopes only add confidence.
+struct ShapeScope {
+  /// Number of threads (thread 0 is the audit subject).
+  unsigned Threads = 2;
+  /// Local-log entry cap for thread 0.
+  unsigned MaxLocalSubject = 2;
+  /// Local-log entry cap for every other thread.
+  unsigned MaxLocalOther = 1;
+  /// Shared-log entry cap.
+  unsigned MaxGlobal = 2;
+  /// Cap on the probe-alphabet prefix used for operation content.
+  unsigned MaxAlphabet = 4;
+  /// Enumerate call continuations (one per alphabet op) for thread 0's
+  /// remaining code, in addition to skip.  Off leaves only skip, which
+  /// makes CMT criterion (i) trivially true everywhere.
+  bool SubjectCodeCalls = true;
+  /// Same for the non-subject threads (the independence audit probes
+  /// every thread, the criterion audit only thread 0).
+  bool OtherCodeCalls = false;
+  /// Also enumerate an idle-with-pending variant for threads with empty
+  /// local logs, so BEGIN firings exist (independence audit only).
+  bool IncludeIdle = false;
+};
+
+/// One abstract local-log entry.
+struct ShapeLocal {
+  LocalKind Kind = LocalKind::NotPushed;
+  /// Alphabet index of the operation; meaningful for npshd entries
+  /// (pshd/pld entries take their operation from the referenced G entry).
+  unsigned Op = 0;
+  /// Index of the referenced shared-log entry; meaningful for pshd/pld.
+  unsigned GRef = 0;
+};
+
+/// One abstract thread.
+struct ShapeThread {
+  bool InTx = true;
+  /// Idle threads only: whether a pending transaction is queued (gives
+  /// the shape a BEGIN firing).
+  bool HasPending = false;
+  /// Remaining code: kSkip, or an alphabet index rendered as a single
+  /// trailing call of that operation's method.
+  unsigned CodeOp = kSkip;
+  std::vector<ShapeLocal> L;
+
+  static constexpr unsigned kSkip = ~0u;
+};
+
+/// One abstract configuration over an operation alphabet.
+struct AbstractShape {
+  struct GEntry {
+    unsigned Op = 0; ///< Alphabet index.
+    bool Committed = false;
+    TxId Owner = 0;
+  };
+  std::vector<GEntry> G;
+  std::vector<ShapeThread> Threads;
+
+  /// Total log-entry count — the minimality order of the enumeration.
+  size_t entryCount() const;
+
+  /// One-line rendering over \p Alphabet for diagnostics.
+  std::string describe(const std::vector<Operation> &Alphabet) const;
+};
+
+/// The first min(MaxAlphabet, |probeOps|) probe operations of \p Spec —
+/// the operation content domain of the enumeration.
+std::vector<Operation> shapeAlphabet(const SequentialSpec &Spec,
+                                     unsigned MaxAlphabet);
+
+/// Enumerate every structurally well-formed shape in \p Scope over an
+/// alphabet of \p AlphabetSize operations, in order of increasing
+/// entryCount() (so the first hit of any search is a minimal witness).
+/// Stops early when \p Visit returns false.  Returns the number of shapes
+/// visited.  Denotational well-formedness ([[G]], [[L_t]] non-empty) is
+/// spec-dependent and checked separately — see shapeDenotable.
+uint64_t
+enumerateShapes(const ShapeScope &Scope, size_t AlphabetSize,
+                const std::function<bool(const AbstractShape &)> &Visit);
+
+/// Denotational well-formedness: [[G]] and every [[L_t]] non-empty under
+/// \p Spec.  Reachable configurations always satisfy this (the rules that
+/// extend a log each require the extension to stay allowed).
+bool shapeDenotable(const AbstractShape &S,
+                    const std::vector<Operation> &Alphabet,
+                    const SequentialSpec &Spec);
+
+/// A shape materialized into real machine state: thread list + shared log
+/// with concrete Operation records (ids dense from 1, pshd/pld entries
+/// aliasing their G entry's record, as a real run would leave them).
+struct MaterializedShape {
+  PushPullMachine::ThreadList Threads;
+  GlobalLog G;
+  OpId MaxId = 0;
+};
+
+/// Materialize \p S.  Pure data construction; install the result into a
+/// machine with installShape.
+MaterializedShape materializeShape(const AbstractShape &S,
+                                   const std::vector<Operation> &Alphabet);
+
+/// Install \p Mat into \p M (see PushPullMachine::installForAnalysis).
+void installShape(const MaterializedShape &Mat, PushPullMachine &M);
+
+/// Render \p S as a parseable `.pp`-style scenario: \p SpecLine and
+/// \p EngineLine verbatim, an `inject` line when \p InjectLine is
+/// non-empty, `# shape:` comments describing logs and flags, and one
+/// `thread` line per thread reconstructing a program that could have
+/// produced the thread's own operations.  \p ProbeComment describes the
+/// convicting rule probe.
+std::string renderShapeWitness(const AbstractShape &S,
+                               const std::vector<Operation> &Alphabet,
+                               const std::string &SpecLine,
+                               const std::string &EngineLine,
+                               const std::string &InjectLine,
+                               const std::string &ProbeComment);
+
+} // namespace pushpull
+
+#endif // PUSHPULL_ANALYSIS_SHAPES_H

@@ -790,6 +790,18 @@ std::string PushPullMachine::configKeyCanonical(
   return Best;
 }
 
+void PushPullMachine::installForAnalysis(ThreadList NewThreads,
+                                         GlobalLog NewG, OpId MaxUsedId) {
+  Threads = std::move(NewThreads);
+  G = std::move(NewG);
+  Ids.reservePast(MaxUsedId);
+  Trace = RuleTrace();
+  Audit.clear();
+  Committed = CowVec<CommittedTx>();
+  CommittedKeyCache.reset();
+  CommitSeq = 0;
+}
+
 RuleFootprint pushpull::ruleFootprint(RuleKind K) {
   // Justification, criterion by criterion, against the evaluations above:
   //

@@ -242,6 +242,20 @@ public:
   /// the worker that will drive them.
   void setMovers(MoverChecker &M) { Movers = &M; }
 
+  /// Overwrite this machine's configuration wholesale with an externally
+  /// constructed (T, G) pair.  This is the static-analysis install hook:
+  /// ppcheck's obligation audit enumerates abstract log/state shapes as
+  /// plain data and plants each one here, then probes individual rules —
+  /// no scheduler ever runs.  The caller is responsible for structural
+  /// well-formedness (thread Tids dense and in order, pshd/pld entries
+  /// present in \p NewG, InTx threads carrying non-null Code/OrigCode);
+  /// \p MaxUsedId seeds the fresh-id source past every installed
+  /// operation so APP probes cannot collide with installed ids.  Trace,
+  /// audit, and committed history are reset: an installed shape is a
+  /// point configuration, not a history.
+  void installForAnalysis(ThreadList NewThreads, GlobalLog NewG,
+                          OpId MaxUsedId);
+
   /// Canonical key of this configuration (threads' code, stacks, logs, G,
   /// and the content of committed transactions).  Operation ids differ
   /// between branches that apply "the same" operation, so the key renders

@@ -181,6 +181,14 @@ public:
   OpId fresh() { return ++Last; }
   OpId lastIssued() const { return Last; }
 
+  /// Advance the sequence past \p Used.  The analysis install hook builds
+  /// operation records outside the machine and must keep future fresh ids
+  /// disjoint from them.
+  void reservePast(OpId Used) {
+    if (Used > Last)
+      Last = Used;
+  }
+
 private:
   OpId Last = 0;
 };

@@ -196,6 +196,32 @@ Tri SequentialSpec::leftMoverHint(const Operation &, const Operation &) const {
   return Tri::Unknown;
 }
 
+std::string MethodSig::toString() const {
+  return Object + "." + Method + "/" + std::to_string(Arity);
+}
+
+std::vector<MethodSig> SequentialSpec::methods() const {
+  std::vector<MethodSig> Out;
+  for (const Operation &Op : probeOps()) {
+    bool Found = false;
+    for (MethodSig &S : Out)
+      if (S.Object == Op.Call.Object && S.Method == Op.Call.Method) {
+        S.HasResult = S.HasResult || Op.Result.has_value();
+        Found = true;
+        break;
+      }
+    if (Found)
+      continue;
+    MethodSig S;
+    S.Object = Op.Call.Object;
+    S.Method = Op.Call.Method;
+    S.Arity = static_cast<unsigned>(Op.Call.Args.size());
+    S.HasResult = Op.Result.has_value();
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
 StateSet SequentialSpec::initial() const {
   return StateSet::of(initialStates());
 }

@@ -213,6 +213,21 @@ struct Completion {
   bool operator==(const Completion &O) const { return Result == O.Result; }
 };
 
+/// Signature of one method of a sequential specification: the owning
+/// object, the method name, the argument count, and whether calls return
+/// a value.  This is the surface the .pp linter checks programs against
+/// (unknown objects/methods, arity errors, result bindings on void
+/// methods) without executing anything.
+struct MethodSig {
+  std::string Object;
+  std::string Method;
+  unsigned Arity = 0;
+  bool HasResult = true;
+
+  /// "obj.method/arity".
+  std::string toString() const;
+};
+
 /// Abstract base for sequential specifications (Parameter 3.1).
 class SequentialSpec {
 public:
@@ -252,6 +267,15 @@ public:
   /// semantic check".  Hints must be *sound*: tests cross-validate them
   /// against the semantic decision procedure.
   virtual Tri leftMoverHint(const Operation &A, const Operation &B) const;
+
+  /// The method surface of this specification, for static checking.  The
+  /// default derives it from probeOps() — one signature per distinct
+  /// (object, method), arity from the probe's argument count, result-ness
+  /// from whether any probe carries a Result — which is exact whenever the
+  /// probe alphabet covers every method at its real arity.  The shipped
+  /// specs override with their authoritative surfaces; the default serves
+  /// test-local specs.
+  virtual std::vector<MethodSig> methods() const;
 
   // -- Derived, non-virtual helpers ---------------------------------------
 

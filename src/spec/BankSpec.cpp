@@ -196,3 +196,10 @@ Tri BankSpec::leftMoverHint(const Operation &A, const Operation &B) const {
   }
   return Tri::Yes;
 }
+
+std::vector<MethodSig> BankSpec::methods() const {
+  return {{Object, "deposit", 2, false},
+          {Object, "withdraw", 2, true},
+          {Object, "balance", 1, true},
+          {Object, "transfer", 3, true}};
+}

@@ -47,6 +47,7 @@ public:
                                       const ResolvedCall &Call)
       const override;
   std::vector<Operation> probeOps() const override;
+  std::vector<MethodSig> methods() const override;
 
   /// Hints: different-account single-account ops commute; transfers are
   /// left to the semantic engine (they touch two accounts and their

@@ -117,3 +117,11 @@ Tri CompositeSpec::leftMoverHint(const Operation &A,
     return Tri::Unknown;
   return Parts[P]->leftMoverHint(A, B);
 }
+
+std::vector<MethodSig> CompositeSpec::methods() const {
+  std::vector<MethodSig> Out;
+  for (const auto &Part : Parts)
+    for (MethodSig &S : Part->methods())
+      Out.push_back(std::move(S));
+  return Out;
+}

@@ -47,6 +47,7 @@ public:
                                       const ResolvedCall &Call)
       const override;
   std::vector<Operation> probeOps() const override;
+  std::vector<MethodSig> methods() const override;
   Tri leftMoverHint(const Operation &A, const Operation &B) const override;
 
   size_t partCount() const { return Parts.size(); }

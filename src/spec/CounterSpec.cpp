@@ -173,3 +173,10 @@ Tri CounterSpec::leftMoverHint(const Operation &A, const Operation &B) const {
   }
   return Tri::Yes;
 }
+
+std::vector<MethodSig> CounterSpec::methods() const {
+  return {{Object, "inc", 1, false},
+          {Object, "dec", 1, false},
+          {Object, "add", 2, false},
+          {Object, "read", 1, true}};
+}

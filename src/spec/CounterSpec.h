@@ -39,6 +39,7 @@ public:
                                       const ResolvedCall &Call)
       const override;
   std::vector<Operation> probeOps() const override;
+  std::vector<MethodSig> methods() const override;
 
   /// Hints: different objects/counters commute; inc/dec/add on the same
   /// counter commute with each other only when their *results* are not

@@ -193,3 +193,10 @@ Tri MapSpec::leftMoverHint(const Operation &A, const Operation &B) const {
   }
   return Tri::Yes;
 }
+
+std::vector<MethodSig> MapSpec::methods() const {
+  return {{Object, "put", 2, true},
+          {Object, "get", 1, true},
+          {Object, "remove", 1, true},
+          {Object, "containsKey", 1, true}};
+}

@@ -131,3 +131,9 @@ Tri QueueSpec::leftMoverHint(const Operation &A, const Operation &B) const {
     return Tri::Yes;
   return Tri::Unknown;
 }
+
+std::vector<MethodSig> QueueSpec::methods() const {
+  return {{Object, "enq", 1, true},
+          {Object, "deq", 0, true},
+          {Object, "size", 0, true}};
+}

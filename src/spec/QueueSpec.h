@@ -41,6 +41,7 @@ public:
                                       const ResolvedCall &Call)
       const override;
   std::vector<Operation> probeOps() const override;
+  std::vector<MethodSig> methods() const override;
   /// No algebraic shortcuts beyond object disjointness: queue operations
   /// genuinely fail to commute.
   Tri leftMoverHint(const Operation &A, const Operation &B) const override;

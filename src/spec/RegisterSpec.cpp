@@ -151,3 +151,7 @@ Tri RegisterSpec::leftMoverHint(const Operation &A, const Operation &B) const {
   }
   return Tri::Yes;
 }
+
+std::vector<MethodSig> RegisterSpec::methods() const {
+  return {{Object, "read", 1, true}, {Object, "write", 2, true}};
+}

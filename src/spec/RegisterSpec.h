@@ -40,6 +40,7 @@ public:
                                       const ResolvedCall &Call)
       const override;
   std::vector<Operation> probeOps() const override;
+  std::vector<MethodSig> methods() const override;
 
   /// Algebraic hint: operations on different registers (or different
   /// objects) always commute.  Same-register pairs are left to the

@@ -135,3 +135,9 @@ Tri SetSpec::leftMoverHint(const Operation &A, const Operation &B) const {
   }
   return Tri::Yes;
 }
+
+std::vector<MethodSig> SetSpec::methods() const {
+  return {{Object, "add", 1, true},
+          {Object, "remove", 1, true},
+          {Object, "contains", 1, true}};
+}

@@ -43,6 +43,7 @@ public:
                                       const ResolvedCall &Call)
       const override;
   std::vector<Operation> probeOps() const override;
+  std::vector<MethodSig> methods() const override;
   Tri leftMoverHint(const Operation &A, const Operation &B) const override;
 
   const std::string &object() const { return Object; }

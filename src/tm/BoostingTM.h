@@ -64,6 +64,11 @@ public:
   std::string name() const override { return "boosting"; }
   StepStatus step(TxId T) override;
 
+  /// Eager publication with inverse-operation aborts exercises all seven
+  /// rules, but only committed entries are ever pulled.
+  uint32_t ruleMask() const override { return allRulesMask(); }
+  bool pullsUncommitted() const override { return false; }
+
   /// How often a blocked lock acquisition escalated to a self-abort.
   uint64_t deadlockAborts() const { return DeadlockAborts; }
 

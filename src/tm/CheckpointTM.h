@@ -50,6 +50,13 @@ public:
   std::string name() const override { return "optimistic(checkpoints)"; }
   StepStatus step(TxId T) override;
 
+  /// Like the optimistic engine, publication happens only at commit, so
+  /// escalation rolls back with UNAPP/UNPULL and never needs UNPUSH.
+  uint32_t ruleMask() const override {
+    return allRulesMask() & ~ruleBit(RuleKind::UnPush);
+  }
+  bool pullsUncommitted() const override { return false; }
+
   /// Aborts that rewound only to a placemarker (not to the start).
   uint64_t partialAborts() const { return PartialAborts; }
   /// Aborts that rewound the whole transaction.

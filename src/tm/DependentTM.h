@@ -70,6 +70,11 @@ public:
   std::string name() const override { return "dependent(ramadan-style)"; }
   StepStatus step(TxId T) override;
 
+  /// All seven rules; pulling *uncommitted* effects is the whole point of
+  /// the dependent-transaction design (and why it is not opaque).
+  uint32_t ruleMask() const override { return allRulesMask(); }
+  bool pullsUncommitted() const override { return true; }
+
   /// Dependencies established (uncommitted pulls).
   uint64_t dependenciesFormed() const { return DependenciesFormed; }
   /// Cascading (detangle) aborts, as opposed to voluntary ones.

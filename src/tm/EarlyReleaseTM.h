@@ -47,6 +47,11 @@ public:
   std::string name() const override { return "early-release(dstm-style)"; }
   StepStatus step(TxId T) override;
 
+  /// Eager publication + abort-by-rewind: all seven rules, committed
+  /// pulls only.
+  uint32_t ruleMask() const override { return allRulesMask(); }
+  bool pullsUncommitted() const override { return false; }
+
   /// Read handles released (UNPULLed) before commit.
   uint64_t releases() const { return Releases; }
   /// Operations discarded across all aborts (the wasted-work metric E7

@@ -43,6 +43,19 @@ enum class StepStatus {
 
 std::string toString(StepStatus S);
 
+/// Bit of rule \p K within an engine rule mask (see TMEngine::ruleMask).
+inline constexpr uint32_t ruleBit(RuleKind K) {
+  return 1u << static_cast<unsigned>(K);
+}
+
+/// Mask of all seven Figure 5 rules.
+inline constexpr uint32_t allRulesMask() {
+  return ruleBit(RuleKind::App) | ruleBit(RuleKind::UnApp) |
+         ruleBit(RuleKind::Push) | ruleBit(RuleKind::UnPush) |
+         ruleBit(RuleKind::Pull) | ruleBit(RuleKind::UnPull) |
+         ruleBit(RuleKind::Commit);
+}
+
 /// Base class for the Section 6 algorithm engines.
 class TMEngine {
 public:
@@ -54,6 +67,22 @@ public:
 
   /// Advance thread \p T by one algorithm step.
   virtual StepStatus step(TxId T) = 0;
+
+  // -- Static guard introspection (consumed by ppcheck) --------------------
+
+  /// Which machine rules this engine's strategy can ever attempt, as an
+  /// or-of-ruleBit mask.  This is a *static claim about the algorithm*,
+  /// not a runtime observation: the criterion-obligation audit restricts
+  /// its rule probes to this mask, and the fuzzer's per-engine
+  /// expected-rule masks (fuzz/DiffRunner.h) are cross-checked against it
+  /// in tests.  The conservative default claims every rule.
+  virtual uint32_t ruleMask() const { return allRulesMask(); }
+
+  /// Does the strategy ever PULL an *uncommitted* global entry?  Only the
+  /// dependent-transaction design does; everything else stays inside the
+  /// Section 6.1 opaque fragment, and the audit skips uncommitted-entry
+  /// PULL probes for it.  Conservative default: yes.
+  virtual bool pullsUncommitted() const { return true; }
 
   /// Total transaction aborts (rollback-and-retry events) so far.
   uint64_t aborts() const { return Aborts; }

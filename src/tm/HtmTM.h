@@ -60,6 +60,11 @@ public:
   }
   StepStatus step(TxId T) override;
 
+  /// Conflict aborts rewind eagerly-pushed effects: all seven rules,
+  /// committed pulls only.
+  uint32_t ruleMask() const override { return allRulesMask(); }
+  bool pullsUncommitted() const override { return false; }
+
   /// Word-granularity aborts whose operations would have been accepted by
   /// the semantic criteria — hardware false conflicts.
   uint64_t falseConflicts() const { return FalseConflicts; }

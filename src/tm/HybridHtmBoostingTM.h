@@ -63,6 +63,11 @@ public:
   std::string name() const override { return "hybrid(htm+boosting)"; }
   StepStatus step(TxId T) override;
 
+  /// Union of its HTM and boosting halves: all seven rules, committed
+  /// pulls only.
+  uint32_t ruleMask() const override { return allRulesMask(); }
+  bool pullsUncommitted() const override { return false; }
+
   /// HTM batch retractions performed (each = one Figure 7-style
   /// UNPUSH-batch + partial UNAPP + re-execute).
   uint64_t htmRetractions() const { return HtmRetractions; }

@@ -48,6 +48,13 @@ public:
   std::string name() const override { return "mixed(irrevocable)"; }
   StepStatus step(TxId T) override;
 
+  /// Irrevocable transactions never unpush (revocable ones run the
+  /// optimistic lazy-publication strategy, which doesn't either).
+  uint32_t ruleMask() const override {
+    return allRulesMask() & ~ruleBit(RuleKind::UnPush);
+  }
+  bool pullsUncommitted() const override { return false; }
+
   /// Rollback rules (UNAPP/UNPUSH/UNPULL) ever executed by the
   /// irrevocable thread — must stay zero.
   uint64_t irrevocableRollbacks() const;

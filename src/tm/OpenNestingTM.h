@@ -91,6 +91,11 @@ public:
   std::string name() const override { return "open-nesting"; }
   StepStatus step(TxId T) override;
 
+  /// Boosting-style segments with compensations: all seven rules, but the
+  /// catch-up pulls take only committed entries.
+  uint32_t ruleMask() const override { return allRulesMask(); }
+  bool pullsUncommitted() const override { return false; }
+
   /// Outer transactions that completed all segments.
   uint64_t outerCommits() const { return OuterCommits; }
   /// Outer aborts taken (each queues compensations).

@@ -46,6 +46,14 @@ public:
   std::string name() const override { return "optimistic(tl2-style)"; }
   StepStatus step(TxId T) override;
 
+  /// Lazy publication: effects are pushed only in the commit phase and a
+  /// failed validation rewinds with UNAPP/UNPULL — UNPUSH is unreachable.
+  uint32_t ruleMask() const override {
+    return allRulesMask() & ~ruleBit(RuleKind::UnPush);
+  }
+  /// Only committed entries are ever pulled (Section 6.1 fragment).
+  bool pullsUncommitted() const override { return false; }
+
   /// Number of UNPUSH rules this engine ever used — stays zero, the
   /// Section 6.2 signature ("needn't UNPUSH").
   uint64_t unpushesUsed() const { return 0; }

@@ -55,6 +55,15 @@ public:
   std::string name() const override { return "pessimistic(matveev-shavit)"; }
   StepStatus step(TxId T) override;
 
+  /// Writers wait instead of aborting, so UNAPP/UNPULL never fire; the
+  /// all-or-nothing commit phase rolls back partial publication with
+  /// UNPUSH when a later push is rejected.
+  uint32_t ruleMask() const override {
+    return allRulesMask() & ~(ruleBit(RuleKind::UnApp) |
+                              ruleBit(RuleKind::UnPull));
+  }
+  bool pullsUncommitted() const override { return false; }
+
   /// Times a writer's commit phase had to back off and wait for readers.
   uint64_t writerWaits() const { return WriterWaits; }
 

@@ -1,0 +1,396 @@
+//===- tools/ppcheck.cpp - Static analysis driver -----------------------------===//
+//
+// Static checks for the PUSH/PULL model, no scheduler in the loop:
+//
+//   ppcheck --all-engines             criterion-obligation audit for every
+//                                     scenario engine (grouped by effective
+//                                     rule surface), the fault-injection
+//                                     negative battery, and the
+//                                     independence-relation audit
+//   ppcheck --engine NAME             criterion audit for one engine
+//   ppcheck --battery                 negative battery only: every
+//                                     injectable criterion must be
+//                                     convicted with a minimal witness
+//   ppcheck --independence            independence-relation audit only
+//   ppcheck --inject "NAME"           audit with that criterion disabled
+//                                     (prints the conviction witness)
+//   ppcheck --lint PATH...            semantic lint of .pp scenario files
+//                                     (directories are searched for *.pp)
+//   ppcheck --list-criteria           print the injectable criterion names
+//
+// Scope knobs (audits): --threads N --max-local N --max-local-other N
+//   --max-global N --max-alphabet N --max-shapes N --spec register|counter
+//
+// Verbosity: --witnesses prints every conviction witness; audits always
+// print a per-item PASS/FAIL summary.
+//
+// Exit status: 0 all checks clean, 1 findings, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IndependenceAudit.h"
+#include "analysis/Lint.h"
+#include "analysis/Obligations.h"
+#include "sim/Scenario.h"
+#include "spec/CounterSpec.h"
+#include "spec/RegisterSpec.h"
+#include "tm/Engine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace pushpull;
+
+namespace {
+
+struct SpecCase {
+  std::string Kind;
+  std::string SpecLine;
+  std::shared_ptr<const SequentialSpec> Spec;
+};
+
+std::vector<SpecCase> specLadder(const std::string &Only) {
+  std::vector<SpecCase> Out;
+  if (Only.empty() || Only == "register")
+    Out.push_back({"register", "spec register name=mem regs=1 vals=2",
+                   std::make_shared<RegisterSpec>("mem", 1, 2)});
+  if (Only.empty() || Only == "counter")
+    Out.push_back({"counter", "spec counter name=c counters=1 mod=2",
+                   std::make_shared<CounterSpec>("c", 1, 2)});
+  return Out;
+}
+
+/// The effective rule surface of one scenario engine, read off a real
+/// engine instance so the audit covers what actually ships.
+struct EngineSurface {
+  std::string Name;
+  uint32_t RuleMask = 0;
+  bool PullsUncommitted = false;
+};
+
+std::vector<EngineSurface> engineSurfaces() {
+  std::vector<EngineSurface> Out;
+  RegisterSpec Spec("mem", 1, 2);
+  MoverChecker Movers(Spec);
+  for (const std::string &Name : allEngineNames()) {
+    PushPullMachine M(Spec, Movers);
+    M.addThread({call("mem", "read", {Value(0)})});
+    std::string Error;
+    std::unique_ptr<TMEngine> E = makeEngine(Name, {}, M, Error);
+    if (!E) {
+      std::fprintf(stderr, "ppcheck: cannot instantiate engine %s: %s\n",
+                   Name.c_str(), Error.c_str());
+      continue;
+    }
+    Out.push_back({Name, E->ruleMask(), E->pullsUncommitted()});
+  }
+  return Out;
+}
+
+struct Options {
+  ShapeScope Scope;
+  std::string SpecOnly;
+  uint64_t MaxShapes = 0;
+  bool Witnesses = false;
+};
+
+int auditEngineGroup(const Options &Opt, const std::string &Label,
+                     uint32_t RuleMask, bool PullsUncommitted) {
+  int Bad = 0;
+  for (const SpecCase &SC : specLadder(Opt.SpecOnly)) {
+    CriterionAuditConfig C;
+    C.Scope = Opt.Scope;
+    C.Spec = SC.Spec.get();
+    C.SpecLine = SC.SpecLine;
+    C.EngineName = Label;
+    C.RuleMask = RuleMask;
+    C.PullsUncommitted = PullsUncommitted;
+    C.MaxShapes = Opt.MaxShapes;
+    CriterionAuditReport R = auditCriteria(C);
+    bool Clean = R.clean();
+    std::printf("criteria  %-32s %-8s %-4s  shapes=%llu probes=%llu%s\n",
+                Label.c_str(), SC.Kind.c_str(), Clean ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(R.ShapesAudited),
+                static_cast<unsigned long long>(R.ProbesRun),
+                Clean ? ""
+                      : (" unsound=" + std::to_string(R.Unsound.size()) +
+                         " incomplete=" + std::to_string(R.Incomplete.size()))
+                            .c_str());
+    if (!Clean) {
+      ++Bad;
+      for (const Divergence &D : R.Unsound) {
+        std::printf("  %s\n", D.describe(R.Alphabet).c_str());
+        if (Opt.Witnesses)
+          std::printf("%s", D.Witness.c_str());
+      }
+      for (const Divergence &D : R.Incomplete)
+        std::printf("  %s\n", D.describe(R.Alphabet).c_str());
+    }
+  }
+  return Bad;
+}
+
+int runEngineAudits(const Options &Opt, const std::string &OnlyEngine) {
+  // Group engines by effective surface: the machine under audit is
+  // engine-independent, so identical surfaces yield identical verdicts.
+  std::map<std::pair<uint32_t, bool>, std::vector<std::string>> Groups;
+  for (const EngineSurface &S : engineSurfaces()) {
+    if (!OnlyEngine.empty() && S.Name != OnlyEngine)
+      continue;
+    Groups[{S.RuleMask, S.PullsUncommitted}].push_back(S.Name);
+  }
+  if (Groups.empty()) {
+    std::fprintf(stderr, "ppcheck: unknown engine '%s'\n",
+                 OnlyEngine.c_str());
+    return 2;
+  }
+  int Bad = 0;
+  for (const auto &[Surface, Names] : Groups) {
+    std::string Label = Names.front();
+    for (size_t I = 1; I < Names.size(); ++I)
+      Label += "," + Names[I];
+    Bad += auditEngineGroup(Opt, Label, Surface.first, Surface.second);
+  }
+  return Bad ? 1 : 0;
+}
+
+int runBattery(const Options &Opt) {
+  int Bad = 0;
+  for (const ConvictionResult &R : runNegativeBattery(Opt.Scope)) {
+    std::printf("battery   %-32s %-8s %-4s  shapes=%llu probes=%llu%s\n",
+                R.Criterion.c_str(),
+                R.Convicted ? R.SpecKind.c_str() : "-",
+                R.Convicted ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(R.ShapesAudited),
+                static_cast<unsigned long long>(R.ProbesRun),
+                R.EnforcedGray ? "" : "  (gray criteria off)");
+    if (!R.Convicted) {
+      ++Bad;
+      std::printf("  injected '%s' was NOT convicted: the audit cannot "
+                  "distinguish the buggy machine\n",
+                  R.Criterion.c_str());
+    } else if (Opt.Witnesses) {
+      std::printf("%s", R.Witness.Witness.c_str());
+    }
+  }
+  return Bad ? 1 : 0;
+}
+
+int runInject(const Options &Opt, const std::string &Criterion) {
+  bool Gray = Criterion != "UNPUSH criterion (ii)";
+  int Bad = 1;
+  for (const SpecCase &SC : specLadder(Opt.SpecOnly)) {
+    CriterionAuditConfig C;
+    C.Scope = Opt.Scope;
+    C.Spec = SC.Spec.get();
+    C.SpecLine = SC.SpecLine;
+    C.EnforceGray = Gray;
+    C.DisabledCriterion = Criterion;
+    C.StopAtFirstDivergence = true;
+    C.MaxShapes = Opt.MaxShapes;
+    CriterionAuditReport R = auditCriteria(C);
+    if (!R.Unsound.empty()) {
+      const Divergence &D = R.Unsound.front();
+      std::printf("inject    %-32s %-8s CONVICTED\n  %s\n%s",
+                  Criterion.c_str(), SC.Kind.c_str(),
+                  D.describe(R.Alphabet).c_str(), D.Witness.c_str());
+      Bad = 0;
+      break;
+    }
+    std::printf("inject    %-32s %-8s no conviction (shapes=%llu)\n",
+                Criterion.c_str(), SC.Kind.c_str(),
+                static_cast<unsigned long long>(R.ShapesAudited));
+  }
+  return Bad;
+}
+
+int runIndependence(const Options &Opt) {
+  int Bad = 0;
+  for (const SpecCase &SC : specLadder(Opt.SpecOnly)) {
+    IndependenceAuditConfig C;
+    C.Scope = Opt.Scope;
+    C.Spec = SC.Spec.get();
+    C.MaxShapes = Opt.MaxShapes;
+    IndependenceAuditReport R = auditIndependence(C);
+    std::printf("independ  %-32s %-8s %-4s  shapes=%llu pairs=%llu\n",
+                "explorer relation", SC.Kind.c_str(),
+                R.clean() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(R.ShapesAudited),
+                static_cast<unsigned long long>(R.PairsChecked));
+    if (!R.clean()) {
+      ++Bad;
+      for (const IndependenceViolation &V : R.Violations)
+        std::printf("  %s\n  at %s\n", V.Reason.c_str(),
+                    V.Shape.describe(R.Alphabet).c_str());
+    }
+  }
+  return Bad ? 1 : 0;
+}
+
+int runLint(const std::vector<std::string> &Paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  for (const std::string &P : Paths) {
+    std::error_code EC;
+    if (fs::is_directory(P, EC)) {
+      for (const auto &Entry : fs::recursive_directory_iterator(P, EC))
+        if (Entry.is_regular_file() && Entry.path().extension() == ".pp")
+          Files.push_back(Entry.path().string());
+    } else {
+      Files.push_back(P);
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+  size_t Errors = 0, Warnings = 0;
+  for (const std::string &F : Files) {
+    LintReport R = lintScenarioFile(F);
+    Errors += R.errors();
+    Warnings += R.warnings();
+    std::printf("%s", R.render().c_str());
+  }
+  std::printf("lint: %zu file(s), %zu error(s), %zu warning(s)\n",
+              Files.size(), Errors, Warnings);
+  return (Errors || Warnings) ? 1 : 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ppcheck [--all-engines | --engine NAME | --battery |\n"
+      "                --independence | --inject NAME | --lint PATH... |\n"
+      "                --list-criteria]\n"
+      "               [--threads N] [--max-local N] [--max-local-other N]\n"
+      "               [--max-global N] [--max-alphabet N] [--max-shapes N]\n"
+      "               [--spec register|counter] [--witnesses]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt;
+  bool AllEngines = false, Battery = false, Independence = false;
+  std::string OnlyEngine, Inject;
+  std::vector<std::string> LintPaths;
+  bool Lint = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "ppcheck: %s needs an argument\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (A == "--all-engines") {
+      AllEngines = true;
+    } else if (A == "--engine") {
+      const char *V = NextArg("--engine");
+      if (!V)
+        return 2;
+      OnlyEngine = V;
+    } else if (A == "--battery") {
+      Battery = true;
+    } else if (A == "--independence") {
+      Independence = true;
+    } else if (A == "--inject") {
+      const char *V = NextArg("--inject");
+      if (!V)
+        return 2;
+      Inject = V;
+    } else if (A == "--lint") {
+      Lint = true;
+      while (I + 1 < argc && argv[I + 1][0] != '-')
+        LintPaths.push_back(argv[++I]);
+    } else if (A == "--list-criteria") {
+      for (const std::string &N : injectableCriteria())
+        std::printf("%s\n", N.c_str());
+      return 0;
+    } else if (A == "--threads") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.Scope.Threads = static_cast<unsigned>(std::atol(V));
+    } else if (A == "--max-local") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.Scope.MaxLocalSubject = static_cast<unsigned>(std::atol(V));
+    } else if (A == "--max-local-other") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.Scope.MaxLocalOther = static_cast<unsigned>(std::atol(V));
+    } else if (A == "--max-global") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.Scope.MaxGlobal = static_cast<unsigned>(std::atol(V));
+    } else if (A == "--max-alphabet") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.Scope.MaxAlphabet = static_cast<unsigned>(std::atol(V));
+    } else if (A == "--max-shapes") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.MaxShapes = static_cast<uint64_t>(std::atoll(V));
+    } else if (A == "--spec") {
+      const char *V = NextArg(A.c_str());
+      if (!V)
+        return 2;
+      Opt.SpecOnly = V;
+      if (specLadder(Opt.SpecOnly).empty()) {
+        std::fprintf(stderr, "ppcheck: --spec must be register or counter\n");
+        return 2;
+      }
+    } else if (A == "--witnesses") {
+      Opt.Witnesses = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "ppcheck: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  int Rc = 0;
+  bool Ran = false;
+  if (!Inject.empty()) {
+    Ran = true;
+    Rc = std::max(Rc, runInject(Opt, Inject));
+  }
+  if (AllEngines || !OnlyEngine.empty()) {
+    Ran = true;
+    Rc = std::max(Rc, runEngineAudits(Opt, OnlyEngine));
+  }
+  if (Battery || AllEngines) {
+    Ran = true;
+    Rc = std::max(Rc, runBattery(Opt));
+  }
+  if (Independence || AllEngines) {
+    Ran = true;
+    Rc = std::max(Rc, runIndependence(Opt));
+  }
+  if (Lint) {
+    Ran = true;
+    if (LintPaths.empty()) {
+      std::fprintf(stderr, "ppcheck: --lint needs at least one path\n");
+      return 2;
+    }
+    Rc = std::max(Rc, runLint(LintPaths));
+  }
+  if (!Ran) {
+    usage();
+    return 2;
+  }
+  return Rc;
+}
