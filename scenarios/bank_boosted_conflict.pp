@@ -1,0 +1,16 @@
+# The conflicting twin of bank_boosted_distinct.pp: two threads share
+# account 0, and a deposit does not strongly commute with a balance
+# read of the same account (the read's result differs across the two
+# orders).  `ppcheck --prove` must reject this program and report that
+# minimal conflicting pair with its counterexample witness.  The run
+# itself is still serializable — boosting's locks serialize the
+# conflict — the point is that the *static* proof correctly refuses.
+spec bank name=bank accounts=3 cap=4 initial=2
+engine boosting seed=21 keylocks=0
+schedule random seed=13 maxsteps=200000
+thread tx { bank.deposit(0, 1) }
+thread tx { b := bank.balance(0) }
+thread tx { v := bank.withdraw(2, 1) }
+check serializability
+check invariants
+check explore

@@ -1,0 +1,16 @@
+# Boosted bank where every thread owns a disjoint set of accounts: all
+# cross-thread operation pairs act on distinct first arguments, so the
+# certified commutativity table proves them strongly commuting and
+# `ppcheck --prove` certifies the whole program conflict-serializable
+# for any engine rule surface.  pprun --static-prove then lets the
+# explorer skip its per-terminal serializability oracle, and
+# --commut-db enables the PUSH x PUSH quotient over the same table.
+spec bank name=bank accounts=3 cap=4 initial=2
+engine boosting seed=21 keylocks=0
+schedule random seed=13 maxsteps=200000
+thread tx { bank.deposit(0, 1); b := bank.balance(0) }
+thread tx { bank.deposit(1, 1); w := bank.withdraw(1, 1) }
+thread tx { v := bank.withdraw(2, 1) }
+check serializability
+check invariants
+check explore

@@ -1,0 +1,64 @@
+//===- core/Commut.cpp - Lexicographic trace normal form of G ---------------===//
+//
+// Part of the pushpull project: an executable semantics for the PUSH/PULL
+// model of transactions (Koskinen & Parkinson, PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Commut.h"
+
+using namespace pushpull;
+
+void pushpull::canonicalGOrder(const GKeyView *Entries, size_t N,
+                               const CommutativityOracle &DB,
+                               SmallVec<uint32_t, 16> &OrderOut) {
+  OrderOut.clear();
+  if (N == 0)
+    return;
+  if (N == 1) {
+    OrderOut.push_back(0);
+    return;
+  }
+
+  // Label order: (opKey, kind, owner).  Strict — equal labels compare
+  // false both ways, and the scan below then keeps the earliest available
+  // entry, which for equal labels is the original order (sound: equal
+  // labels share an owner and are therefore dependent, so their relative
+  // order is invariant across the equivalence class).
+  auto LabelLess = [Entries](uint32_t A, uint32_t B) {
+    const GKeyView &X = Entries[A], &Y = Entries[B];
+    if (X.OpKey != Y.OpKey)
+      return X.OpKey < Y.OpKey;
+    if (X.Kind != Y.Kind)
+      return X.Kind < Y.Kind;
+    return X.OwnerLabel < Y.OwnerLabel;
+  };
+  auto Independent = [Entries, &DB](uint32_t A, uint32_t B) {
+    return Entries[A].OwnerLabel != Entries[B].OwnerLabel &&
+           DB.stronglyCommute(Entries[A].OpKey, Entries[B].OpKey);
+  };
+
+  SmallVec<uint32_t, 16> Remaining;
+  for (size_t I = 0; I < N; ++I)
+    Remaining.push_back(static_cast<uint32_t>(I));
+
+  while (!Remaining.empty()) {
+    // Among the entries whose every earlier remaining entry is independent
+    // of them (no dependence predecessor left), pick the least label.
+    size_t Best = 0; // Remaining[0] trivially has no earlier entry.
+    for (size_t I = 1; I < Remaining.size(); ++I) {
+      if (!LabelLess(Remaining[I], Remaining[Best]))
+        continue;
+      bool Available = true;
+      for (size_t J = 0; J < I; ++J)
+        if (!Independent(Remaining[J], Remaining[I])) {
+          Available = false;
+          break;
+        }
+      if (Available)
+        Best = I;
+    }
+    OrderOut.push_back(Remaining[Best]);
+    Remaining.erase(Remaining.begin() + static_cast<ptrdiff_t>(Best));
+  }
+}

@@ -679,7 +679,10 @@ void renderThreadKey(std::string &Out, StateTable &Table,
 
 } // namespace
 
-std::string PushPullMachine::configKey(const std::vector<TxId> *LabelOf) const {
+std::string
+PushPullMachine::configKey(const std::vector<TxId> *LabelOf,
+                           const CommutativityOracle *Commut,
+                           SmallVec<uint32_t, 16> *GOrderOut) const {
   // Operations are rendered by their interned (Call, Result) key id:
   // id equality is exactly canonical-text equality, so the key partitions
   // configurations the same way a fully textual rendering would.  All
@@ -689,10 +692,27 @@ std::string PushPullMachine::configKey(const std::vector<TxId> *LabelOf) const {
   StateTable &Table = Spec->table();
   // One G sweep up front: the entry ids double as the L->G link table,
   // turning per-local-entry G.indexOf chain walks into probes of a
-  // contiguous array.
+  // contiguous array.  With a commutativity oracle the sweep is rendered
+  // in the canonical quotient order instead of append order — building
+  // GIds in that order automatically re-expresses every L->G link in it.
+  SmallVec<GKeyView, 16> Views;
+  for (const GlobalEntry &E : G.entries()) {
+    GKeyView V;
+    V.OpKey = Table.opKey(E.Op);
+    V.Kind = E.Kind == GlobalKind::Committed ? 'C' : 'U';
+    V.OwnerLabel = LabelOf ? (*LabelOf)[E.Owner] : E.Owner;
+    Views.push_back(V);
+  }
+  SmallVec<uint32_t, 16> Order;
+  if (Commut)
+    canonicalGOrder(Views.begin(), Views.size(), *Commut, Order);
+  else
+    for (size_t I = 0; I < Views.size(); ++I)
+      Order.push_back(static_cast<uint32_t>(I));
+
   SmallVec<OpId, 16> GIds;
-  for (const GlobalEntry &E : G.entries())
-    GIds.push_back(E.Op.Id);
+  for (size_t J = 0; J < Order.size(); ++J)
+    GIds.push_back(G.entries()[Order[J]].Op.Id);
   std::string Out;
   Out.reserve(64 + 48 * Threads.size() + 9 * GIds.size());
   if (!LabelOf) {
@@ -708,12 +728,15 @@ std::string PushPullMachine::configKey(const std::vector<TxId> *LabelOf) const {
       renderThreadKey(Out, Table, Threads[AtLabel[L]], GIds);
   }
   key32(Out, static_cast<uint32_t>(GIds.size()));
-  for (const GlobalEntry &E : G.entries()) {
-    key32(Out, Table.opKey(E.Op));
-    Out += E.Kind == GlobalKind::Committed ? 'C' : 'U';
-    key32(Out, LabelOf ? (*LabelOf)[E.Owner] : E.Owner);
+  for (size_t J = 0; J < Order.size(); ++J) {
+    const GKeyView &V = Views[Order[J]];
+    key32(Out, V.OpKey);
+    Out += V.Kind;
+    key32(Out, V.OwnerLabel);
   }
   appendCommittedKey(Out);
+  if (GOrderOut)
+    *GOrderOut = Order;
   return Out;
 }
 
@@ -740,7 +763,34 @@ void PushPullMachine::appendCommittedKey(std::string &Out) const {
 }
 
 std::string PushPullMachine::configKeyCanonical(
-    const std::vector<std::vector<TxId>> &Perms, size_t &BestPerm) const {
+    const std::vector<std::vector<TxId>> &Perms, size_t &BestPerm,
+    const CommutativityOracle *Commut,
+    SmallVec<uint32_t, 16> *GOrderOut) const {
+  // With a commutativity oracle the G quotient order depends on the owner
+  // relabeling (owner labels are part of the normal form's label order),
+  // so the render-once assembly below does not apply: render each
+  // permutation in full and keep the minimum.
+  if (Commut) {
+    std::string Best;
+    SmallVec<uint32_t, 16> CurOrder, BestOrder;
+    BestPerm = 0;
+    for (size_t Pi = 0; Pi < Perms.size(); ++Pi) {
+      std::string Cur = configKey(&Perms[Pi], Commut, &CurOrder);
+      if (Pi == 0 || Cur < Best) {
+        Best = std::move(Cur);
+        BestOrder = CurOrder;
+        BestPerm = Pi;
+      }
+    }
+    if (GOrderOut)
+      *GOrderOut = BestOrder;
+    return Best;
+  }
+  if (GOrderOut) {
+    GOrderOut->clear();
+    for (size_t I = 0; I < G.entries().size(); ++I)
+      GOrderOut->push_back(static_cast<uint32_t>(I));
+  }
   // The thread sections and the G entries' (opKey, kind) prefix are
   // label-independent; only the section order and the G owner labels vary
   // across the symmetry group.  Render every invariant piece once, then

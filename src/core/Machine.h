@@ -38,6 +38,7 @@
 #ifndef PUSHPULL_CORE_MACHINE_H
 #define PUSHPULL_CORE_MACHINE_H
 
+#include "core/Commut.h"
 #include "core/Criteria.h"
 #include "core/Log.h"
 #include "core/Mover.h"
@@ -271,16 +272,33 @@ public:
   /// owners are rewritten through the same map.  Sound only for
   /// permutations that map threads to threads with identical programs
   /// (pending queues are keyed by count, not content).
-  std::string configKey(const std::vector<TxId> *LabelOf = nullptr) const;
+  ///
+  /// \p Commut, if given, renders the G section (and the L->G links) in
+  /// the canonical order of core/Commut.h's G-order quotient instead of
+  /// append order, merging configurations that differ only by adjacent
+  /// swaps of cross-thread strongly-commuting entries.  \p GOrderOut, when
+  /// non-null, receives the canonical-position -> original-index
+  /// permutation actually used (the identity when \p Commut is null) so
+  /// callers can express G indices (sleep-set PULL members) in the same
+  /// order the key was rendered in.
+  std::string configKey(const std::vector<TxId> *LabelOf = nullptr,
+                        const CommutativityOracle *Commut = nullptr,
+                        SmallVec<uint32_t, 16> *GOrderOut = nullptr) const;
 
   /// The minimum of configKey over a whole symmetry group (\p Perms;
   /// element 0 must be the identity), with \p BestPerm set to the index of
   /// the minimizing permutation.  Equivalent to taking configKey(&P) for
   /// every P and keeping the smallest, but renders the label-independent
   /// sections once instead of once per permutation — the symmetry
-  /// reduction keys every visited configuration |Perms| ways.
+  /// reduction keys every visited configuration |Perms| ways.  With
+  /// \p Commut the G quotient order depends on the owner relabeling, so
+  /// each permutation is rendered in full; \p GOrderOut receives the
+  /// minimizing permutation's canonical G order.
   std::string configKeyCanonical(const std::vector<std::vector<TxId>> &Perms,
-                                 size_t &BestPerm) const;
+                                 size_t &BestPerm,
+                                 const CommutativityOracle *Commut = nullptr,
+                                 SmallVec<uint32_t, 16> *GOrderOut = nullptr)
+      const;
 
   /// The committed projection |G|_gCmt — what the serializability theorem
   /// relates to an atomic log.

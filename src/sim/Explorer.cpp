@@ -114,10 +114,16 @@ void enumerateCandidates(const PushPullMachine &M,
                         static_cast<uint32_t>(CI)},
                        Local});
 
-    for (size_t I : Th.L.indicesOf(LocalKind::NotPushed))
+    for (size_t I : Th.L.indicesOf(LocalKind::NotPushed)) {
+      FiringFootprint PushFP = FP(RuleKind::Push);
+      // The commutativity refinement needs the interned key of the
+      // operation this push would publish; only intern when an oracle is
+      // actually in play (the table is internally synchronized).
+      if (Config.CommutDB)
+        PushFP.OpKey = M.spec().table().opKey(Th.L[I].Op);
       Out.push_back(
-          {{T, FiringKind::Push, static_cast<uint32_t>(I), 0},
-           FP(RuleKind::Push)});
+          {{T, FiringKind::Push, static_cast<uint32_t>(I), 0}, PushFP});
+    }
 
     size_t GI = 0;
     for (const GlobalEntry &GE : M.global().entries()) {
@@ -209,7 +215,7 @@ void expandReduced(const PushPullMachine &M, const ExplorerConfig &Config,
     if (applyFiring(*Scratch, C.F)) {
       ++Ctr.RuleApplications;
       SleepSet ChildSleep =
-          UseSleep ? Accum.survivorsAfter(C) : SleepSet();
+          UseSleep ? Accum.survivorsAfter(C, Config.CommutDB) : SleepSet();
       EmitNext(std::move(*Scratch), std::move(ChildSleep));
       Scratch.reset();
       if (UseSleep)
@@ -279,14 +285,32 @@ Explorer::Explorer(const SequentialSpec &Spec, MoverChecker &Movers,
 
 std::string Explorer::canonicalKey(const PushPullMachine &M, SleepSet &Sleep,
                                    uint64_t &SymmetryHits) const {
-  if (Perms.size() <= 1)
-    return M.configKey();
+  const CommutativityOracle *DB = Config.CommutDB;
+  // Sleep sets travel in raw G-index space (stable across independent
+  // firings); the visited map compares them in canonical space, so under
+  // the commutativity quotient the PULL indices are rewritten through the
+  // G order actually used for the key — after the thread relabeling when
+  // symmetry also applies (relabeled touches tids only, so the two
+  // rewrites commute, but the order used must be the one of the winning
+  // permutation's rendering).
+  if (Perms.size() <= 1) {
+    if (!DB)
+      return M.configKey();
+    SmallVec<uint32_t, 16> Order;
+    std::string Key = M.configKey(nullptr, DB, &Order);
+    Sleep = Sleep.reindexedG(Order);
+    return Key;
+  }
   size_t BestPi = 0;
-  std::string Key = M.configKeyCanonical(Perms, BestPi);
+  SmallVec<uint32_t, 16> Order;
+  std::string Key =
+      M.configKeyCanonical(Perms, BestPi, DB, DB ? &Order : nullptr);
   if (BestPi != 0) {
     ++SymmetryHits;
     Sleep = Sleep.relabeled(Perms[BestPi]);
   }
+  if (DB)
+    Sleep = Sleep.reindexedG(Order);
   return Key;
 }
 
@@ -358,6 +382,14 @@ void Explorer::visit(PushPullMachine M, size_t Depth, SleepSet Sleep,
     if (!Fresh)
       return;
     ++Report.TerminalConfigs;
+    if (Config.OnTerminal)
+      Config.OnTerminal(M);
+    if (Config.SkipOracle) {
+      // The program was statically proved serializable; the per-terminal
+      // replay is certified redundant.
+      ++Report.OracleSkips;
+      return;
+    }
     const SerializabilityVerdict &V =
         cachedCommitOrderVerdict(Oracle, OracleMemo, Spec.table(), M);
     if (V.Serializable != Tri::Yes) {
@@ -399,11 +431,13 @@ ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
     std::atomic<uint64_t> RuleApplications{0}, RejectedAttempts{0};
     std::atomic<uint64_t> NonSerializable{0}, InvariantViolations{0};
     std::atomic<uint64_t> FiringsPruned{0}, PersistentCuts{0};
-    std::atomic<uint64_t> SymmetryHits{0};
+    std::atomic<uint64_t> SymmetryHits{0}, OracleSkips{0};
     std::atomic<bool> Truncated{false};
 
     std::mutex FailureMutex;
     std::string FirstFailure;
+
+    std::mutex TerminalMutex; ///< Serializes the OnTerminal hook.
   } Shared;
 
   const bool UseSleep = usesSleepSets(Config.Reduce);
@@ -475,21 +509,29 @@ ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
           if (M.quiescent()) {
             if (C.Fresh) {
               Shared.TerminalConfigs.fetch_add(1, std::memory_order_relaxed);
-              const SerializabilityVerdict &V = cachedCommitOrderVerdict(
-                  WorkerOracle, WorkerMemo, Spec.table(), M);
-              if (V.Serializable != Tri::Yes) {
-                Shared.NonSerializable.fetch_add(1,
-                                                 std::memory_order_relaxed);
-                std::string Text = "non-serializable terminal: " + V.Detail +
-                                   "\n" + M.toString();
-                for (const CommittedTx &Cm : M.committed())
-                  Text += "  commit[" + std::to_string(Cm.CommitSeq) + "] t" +
-                          std::to_string(Cm.Tid) + ": " +
-                          printCode(Cm.Body) + " start=" +
-                          Cm.Sigma.toString() + " final=" +
-                          Cm.FinalSigma.toString() + "\n";
-                Text += "  trace:\n" + M.trace().toString();
-                RecordFailure(Text);
+              if (Config.OnTerminal) {
+                std::lock_guard<std::mutex> Lock(Shared.TerminalMutex);
+                Config.OnTerminal(M);
+              }
+              if (Config.SkipOracle) {
+                Shared.OracleSkips.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                const SerializabilityVerdict &V = cachedCommitOrderVerdict(
+                    WorkerOracle, WorkerMemo, Spec.table(), M);
+                if (V.Serializable != Tri::Yes) {
+                  Shared.NonSerializable.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                  std::string Text = "non-serializable terminal: " +
+                                     V.Detail + "\n" + M.toString();
+                  for (const CommittedTx &Cm : M.committed())
+                    Text += "  commit[" + std::to_string(Cm.CommitSeq) +
+                            "] t" + std::to_string(Cm.Tid) + ": " +
+                            printCode(Cm.Body) + " start=" +
+                            Cm.Sigma.toString() + " final=" +
+                            Cm.FinalSigma.toString() + "\n";
+                  Text += "  trace:\n" + M.trace().toString();
+                  RecordFailure(Text);
+                }
               }
             }
           } else {
@@ -542,6 +584,7 @@ ExplorerReport Explorer::exploreParallel(PushPullMachine Root) {
   Report.FiringsPruned = Shared.FiringsPruned.load();
   Report.PersistentCuts = Shared.PersistentCuts.load();
   Report.SymmetryHits = Shared.SymmetryHits.load();
+  Report.OracleSkips = Shared.OracleSkips.load();
   Report.Truncated = Shared.Truncated.load();
   Report.FirstFailure = std::move(Shared.FirstFailure);
   return Report;

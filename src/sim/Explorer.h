@@ -57,6 +57,7 @@
 #include "sim/Reduction.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace pushpull {
@@ -87,6 +88,26 @@ struct ExplorerConfig {
   /// >1 shards the search across a pool (same aggregate totals, see the
   /// file comment).
   unsigned Threads = 1;
+  /// Certified strong-commutation oracle (core/Commut.h), or null.  When
+  /// set, two things happen *together* (they are only sound as a pair):
+  /// the independence relation treats cross-thread PUSHes of strongly
+  /// commuting operations as independent, and the visited-map key renders
+  /// the global log in the oracle's canonical quotient order, merging
+  /// configurations that differ only by certified commutations.  The
+  /// oracle must be sound for the explored spec and cover its operation
+  /// alphabet (analysis/MoverTable.h coversProgram); it must outlive the
+  /// exploration and be thread-safe when Threads > 1.
+  const CommutativityOracle *CommutDB = nullptr;
+  /// Skip the per-terminal serializability oracle replay.  Only sound
+  /// when the program has been statically proved conflict-serializable
+  /// (ppcheck --prove); skipped verdicts are counted in
+  /// ExplorerReport::OracleSkips and NonSerializable stays 0 by fiat.
+  bool SkipOracle = false;
+  /// Invoked on every *fresh* quiescent (terminal) configuration, after
+  /// the visited-map claim.  Serialized under a mutex when Threads > 1.
+  /// Used by the equivalence tests to compare terminal state graphs
+  /// across reduction modes.
+  std::function<void(const PushPullMachine &)> OnTerminal;
 };
 
 /// Aggregate result of an exploration.
@@ -111,6 +132,10 @@ struct ExplorerReport {
   /// Visits whose configuration canonicalized to a non-identity thread
   /// relabeling (symmetry mode only).
   uint64_t SymmetryHits = 0;
+  /// Terminal configurations whose oracle replay was skipped because the
+  /// program was statically proved serializable (ExplorerConfig::
+  /// SkipOracle).  Zero otherwise.
+  uint64_t OracleSkips = 0;
   bool Truncated = false;
   /// Diagnostic for the first failure, if any.
   std::string FirstFailure;

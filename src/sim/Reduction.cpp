@@ -90,7 +90,8 @@ std::string Firing::toString() const {
   return Out;
 }
 
-bool independentFirings(const Candidate &A, const Candidate &B) {
+bool independentFirings(const Candidate &A, const Candidate &B,
+                        const CommutativityOracle *DB) {
   // Same-thread firings race on {c, sigma, L} and on the thread's rule
   // order; never claim independence.
   if (A.F.Tid == B.F.Tid)
@@ -131,6 +132,15 @@ bool independentFirings(const Candidate &A, const Candidate &B) {
     return PullVs(A, B);
   if (B.F.Kind == FiringKind::Pull)
     return PullVs(B, A);
+  // PUSH x PUSH: the append order is part of the raw configuration, so
+  // without an oracle the pair is dependent.  With one, strongly
+  // commuting publications are independent — the configuration key
+  // renders G in the quotient's canonical order, so both append orders
+  // produce the same canonical configuration, and strong commutation
+  // keeps every denotation-based criterion (including each PUSH's own
+  // enabledness) insensitive to the order.
+  if (DB && A.F.Kind == FiringKind::Push && B.F.Kind == FiringKind::Push)
+    return DB->stronglyCommute(A.FP.OpKey, B.FP.OpKey);
   // The remaining pairs all write G in order-sensitive ways: PUSH x PUSH
   // (append order is part of the configuration), CMT x CMT (commit order
   // feeds the oracle — both orders must be explored), PUSH/UNPUSH x CMT,
@@ -176,11 +186,12 @@ void SleepSet::insert(const Candidate &C) {
   Members.insert(It, C);
 }
 
-SleepSet SleepSet::survivorsAfter(const Candidate &Fired) const {
+SleepSet SleepSet::survivorsAfter(const Candidate &Fired,
+                                  const CommutativityOracle *DB) const {
   SleepSet Out;
   Out.Members.reserve(Members.size());
   for (const Candidate &C : Members)
-    if (independentFirings(C, Fired))
+    if (independentFirings(C, Fired, DB))
       Out.Members.push_back(C); // Insertion order preserves sortedness.
   return Out;
 }
@@ -208,6 +219,32 @@ SleepSet SleepSet::relabeled(const std::vector<TxId> &LabelOf) const {
     if (C.F.Kind == FiringKind::Pull)
       C.FP.PullOwner = LabelOf[C.FP.PullOwner];
   }
+  std::sort(Out.Members.begin(), Out.Members.end(),
+            [](const Candidate &A, const Candidate &B) { return A.F < B.F; });
+  return Out;
+}
+
+SleepSet SleepSet::reindexedG(const SmallVec<uint32_t, 16> &Order) const {
+  // Identity fast path (also covers the no-oracle case, where configKey
+  // fills the identity order).
+  bool IsIdentity = true;
+  for (size_t I = 0; I < Order.size(); ++I)
+    if (Order[I] != I) {
+      IsIdentity = false;
+      break;
+    }
+  if (IsIdentity)
+    return *this;
+  // Invert: CanonOf[raw] = canonical position.
+  SmallVec<uint32_t, 16> CanonOf;
+  CanonOf.resize(Order.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    CanonOf[Order[I]] = static_cast<uint32_t>(I);
+  SleepSet Out;
+  Out.Members = Members;
+  for (Candidate &C : Out.Members)
+    if (C.F.Kind == FiringKind::Pull && C.F.A < CanonOf.size())
+      C.F.A = CanonOf[C.F.A];
   std::sort(Out.Members.begin(), Out.Members.end(),
             [](const Candidate &A, const Candidate &B) { return A.F < B.F; });
   return Out;

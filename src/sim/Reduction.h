@@ -30,6 +30,17 @@
 ///   * everything else that writes G (PUSH x PUSH order in G, CMT x CMT
 ///     commit order, UNPUSH removals) is conservatively dependent.
 ///
+/// When a certified commutativity oracle (core/Commut.h) is supplied, one
+/// further refinement applies: PUSH x PUSH of *strongly commuting*
+/// operations becomes independent.  The two orders append the same two
+/// entries to G in either order; strong commutation makes every
+/// denotation-based criterion insensitive to which order, and the
+/// explorer's configuration key renders G in the commutativity quotient's
+/// canonical order (PushPullMachine::configKey with the oracle), so both
+/// orders reach the *same* canonical configuration — exactly the diamond
+/// sleep sets require.  The refinement and the quotient key must be
+/// enabled together (same oracle), never separately.
+///
 /// Validity is cross-checked by tests/reduction_test.cpp, which executes
 /// claimed-independent pairs in both orders from fuzzed configurations and
 /// compares the resulting interned configuration StateIds.
@@ -39,6 +50,7 @@
 #ifndef PUSHPULL_SIM_REDUCTION_H
 #define PUSHPULL_SIM_REDUCTION_H
 
+#include "core/Commut.h"
 #include "core/Op.h"
 #include "lang/Ast.h"
 #include "support/Arena.h"
@@ -141,6 +153,11 @@ struct FiringFootprint {
   /// PULL x CMT refinement.
   TxId PullOwner = 0;
   bool PullCommitted = false;
+  /// PUSH only: the interned key (StateTable::opKey) of the operation the
+  /// push would publish, for the commutativity-oracle PUSH x PUSH
+  /// refinement.  0 (a valid key) when no oracle is in play — the field is
+  /// only consulted when a DB is passed to independentFirings.
+  OpKeyId OpKey = 0;
 
   bool local() const { return !ReadsG && !WritesG; }
 };
@@ -153,8 +170,12 @@ struct Candidate {
 
 /// The static independence relation (see the file comment).  Sound for
 /// both sleep sets (diamond: both orders applicable and reach the same
-/// canonical configuration) and the persistent-set argument.
-bool independentFirings(const Candidate &A, const Candidate &B);
+/// canonical configuration) and the persistent-set argument.  \p DB, when
+/// non-null, additionally makes cross-thread PUSH x PUSH of strongly
+/// commuting operations independent; callers must then also key the
+/// visited map with the same oracle's G-order quotient.
+bool independentFirings(const Candidate &A, const Candidate &B,
+                        const CommutativityOracle *DB = nullptr);
 
 /// Execute \p F on \p M.  Returns true iff the rule applied (the firing
 /// was enabled under the machine's validation regime).
@@ -178,8 +199,10 @@ public:
   bool contains(const Firing &F) const;
   void insert(const Candidate &C);
 
-  /// The members that survive firing \p Fired: those independent of it.
-  SleepSet survivorsAfter(const Candidate &Fired) const;
+  /// The members that survive firing \p Fired: those independent of it
+  /// (under \p DB's refinement when non-null).
+  SleepSet survivorsAfter(const Candidate &Fired,
+                          const CommutativityOracle *DB = nullptr) const;
 
   /// Is every member of \p O also a member of this set?  (By firing
   /// identity.)  A revisit whose sleep set is a superset of the stored one
@@ -196,6 +219,16 @@ public:
   /// expresses sleep sets in the canonical labeling before visited-map
   /// store/compare, so subsumption checks compare like with like.
   SleepSet relabeled(const std::vector<TxId> &LabelOf) const;
+
+  /// This set with PULL global-log indices rewritten from raw positions to
+  /// canonical positions under \p Order (the configKey G-order quotient:
+  /// Order[canonical] = raw), and re-sorted.  Like relabeled(), applied at
+  /// the visited-map boundary when a commutativity oracle reorders the G
+  /// section: two visitors that merge on a canonical key agree on the
+  /// canonical position of every G entry, not on raw positions.  Sleep
+  /// sets that travel down edges stay in raw space (raw identities are
+  /// stable across independent firings; canonical positions are not).
+  SleepSet reindexedG(const SmallVec<uint32_t, 16> &Order) const;
 
 private:
   Storage Members;

@@ -413,6 +413,8 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
       ExplorerConfig EC;
       EC.Threads = S.ExplorerThreads;
       EC.Reduce = S.ExplorerReduction;
+      EC.CommutDB = S.CommutDB;
+      EC.SkipOracle = S.SkipOracleReplay;
       Explorer Ex(*S.Spec, Movers, EC);
       ExplorerReport R = Ex.explore(S.Threads);
       std::string Line =
@@ -423,6 +425,8 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
       if (EC.Reduce != Reduction::None)
         Line += ", reduction=" + toString(EC.Reduce) + " pruned " +
                 std::to_string(R.FiringsPruned) + " firings";
+      if (R.OracleSkips)
+        Line += ", " + std::to_string(R.OracleSkips) + " oracle-skipped";
       if (R.Truncated)
         Line += " (truncated)";
       Out.CheckResults.push_back(std::move(Line));
@@ -430,6 +434,7 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
       Out.Caches.ExplorerPersistentCuts += R.PersistentCuts;
       Out.Caches.ExplorerSymmetryHits += R.SymmetryHits;
       Out.Caches.ExplorerReductionRatio = R.reductionRatio();
+      Out.Caches.OracleSkips += R.OracleSkips;
       Out.Ok = Out.Ok && R.clean();
     } else {
       Out.CheckResults.push_back("error: unknown check '" + Check + "'");
@@ -442,6 +447,11 @@ ScenarioOutcome pushpull::runScenario(const Scenario &S) {
   Out.Caches.MoverMemoMisses = Movers.memoMisses();
   Out.Caches.PrecongruencePairs = Movers.precongruence().pairsVisited();
   Out.Caches.ReachableSets = Movers.reachableComputedCount();
+  if (S.CommutDB) {
+    Out.Caches.CommutTableHits = S.CommutDB->tableHits();
+    Out.Caches.CommutTableMisses = S.CommutDB->tableMisses();
+    Out.Caches.CertChecks = S.CommutDB->certChecks();
+  }
   Out.Caches.Memory = memstats::read().delta(MemBefore);
   return Out;
 }

@@ -77,6 +77,15 @@ struct Scenario {
   unsigned ExplorerThreads = 1;
   /// Partial-order reduction for the "explore" check (pprun --reduction).
   Reduction ExplorerReduction = Reduction::None;
+  /// Certified commutativity oracle for the "explore" check (pprun
+  /// --commut-db): enables the PUSH x PUSH independence refinement and the
+  /// G-order quotient key together.  Not owned; must outlive the run and
+  /// cover the scenario's operation alphabet (see core/Commut.h).
+  const CommutativityOracle *CommutDB = nullptr;
+  /// Skip the per-terminal serializability replay in "explore": only set
+  /// after ppcheck --prove (or pprun --static-prove) established a
+  /// whole-program proof for this scenario's engine surface.
+  bool SkipOracleReplay = false;
 };
 
 /// Parse outcome.

@@ -117,6 +117,17 @@ std::string CacheStats::toString() const {
          std::to_string(ExplorerPersistentCuts) + "\n";
   Out += "  symmetry hits:        " + std::to_string(ExplorerSymmetryHits) +
          "\n";
+  uint64_t CommutQueries = CommutTableHits + CommutTableMisses;
+  double CommutHitRate =
+      CommutQueries ? static_cast<double>(CommutTableHits) /
+                          static_cast<double>(CommutQueries)
+                    : 0.0;
+  Out += "  commut table:         " + std::to_string(CommutTableHits) +
+         " hits / " + std::to_string(CommutTableMisses) + " misses (" +
+         percent(CommutHitRate) + ")\n";
+  Out += "  cert checks:          " + std::to_string(CertChecks) + "\n";
+  Out += "  proved programs:      " + std::to_string(ProvedPrograms) + "\n";
+  Out += "  oracle skips:         " + std::to_string(OracleSkips) + "\n";
   uint64_t Copies = Memory.ChunkShares + Memory.DeepCopies;
   double ShareRate =
       Copies ? static_cast<double>(Memory.ChunkShares) /

@@ -115,6 +115,19 @@ struct CacheStats {
   uint64_t ExplorerSymmetryHits = 0;
   /// Fraction of the explorer's candidate firings the reduction pruned.
   double ExplorerReductionRatio = 0.0;
+  /// Certified commutativity-table counters (all zero unless the run used
+  /// a static commutativity DB; see analysis/MoverTable.h).  Hits are
+  /// oracle queries answered "strongly commutes" (a refinement applied),
+  /// misses queries answered "no / unknown"; CertChecks counts
+  /// independent certificate verifications; ProvedPrograms counts
+  /// whole-program serializability proofs accepted; OracleSkips counts
+  /// terminal configurations whose serializability replay the proof made
+  /// redundant.
+  uint64_t CommutTableHits = 0;
+  uint64_t CommutTableMisses = 0;
+  uint64_t CertChecks = 0;
+  uint64_t ProvedPrograms = 0;
+  uint64_t OracleSkips = 0;
   /// Snapshot/copy traffic over the run (delta of the process-wide
   /// memstats counters): machine copies, O(1) chunk shares vs chunks the
   /// CoW layer actually had to clone, bytes carved into chunks and drawn

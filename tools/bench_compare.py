@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Smoke-benchmark harness: run bench_explorer / bench_mover, the E12
-reduction-scope explorer benchmarks, a fixed-seed ppfuzz campaign, and a
+reduction-scope explorer benchmarks, the E14 certified-commutativity POR
+scope (pprun with and without --commut-db on a distinct-key map scenario,
+gated on a >=1.2x config reduction), a fixed-seed ppfuzz campaign, and a
 ppstress throughput sweep (commits/s at 1 and 8 workers, so the JSON
 records the real-thread scaling ratio of the E13 experiment); compare
 against the recorded seed and PR 3 baselines; capture cache and
 snapshot/copy-traffic counters from `pprun --stats`; and write the result
-as JSON (BENCH_PR8.json at the repo root, via the `bench-smoke` CMake
+as JSON (BENCH_PR10.json at the repo root, via the `bench-smoke` CMake
 target).
 
 Exit status is non-zero when any tracked metric regresses more than
@@ -75,7 +77,10 @@ TRACKED = {
     "explorer_configs_per_sec/persistent+symmetry": ("rate", 130000.0),
     "explorer_configs_per_sec/two_threads": ("rate", 275000.0),
     "ppfuzz_execs_per_sec": ("rate", 400.0),
-    "bench_mover/BM_LeftMoverSemanticCold": ("ns", 26000.0),
+    # Re-baselined at PR 10: the PR 6 ceiling (26000) was ~10% under the
+    # medians the harness itself recorded at PR 6 and PR 8 (~28.5k ns),
+    # so the gate sat <1% from tripping on noise for two PRs.
+    "bench_mover/BM_LeftMoverSemanticCold": ("ns", 29000.0),
     "bench_mover/BM_PrecongruenceRefutation": ("ns", 5200.0),
     "bench_mover/BM_AllowedDenotation/64": ("ns", 2100.0),
     # Snapshot traffic per visited config on the unreduced E12 scope: a
@@ -90,6 +95,11 @@ TRACKED = {
     "ppstress_commits_per_sec/boosting_w1": ("rate", 1340.0),
     "ppstress_commits_per_sec/boosting_w8": ("rate", 11200.0),
     "ppstress_scaling_1_to_8/boosting": ("rate", 7.5),
+    # E14: full-enumeration configs / commut-db configs on the
+    # distinct-key map scope.  Deterministic counter ratio, not a timing;
+    # the PR 10 acceptance floor is 1.2x, measured ~2.3x, so the baseline
+    # leaves the gate comfortably above the floor even with tolerance.
+    "commut_config_reduction": ("rate", 1.4),
 }
 
 # The ppstress scaling sweep (experiment E13): think-time per commit makes
@@ -120,6 +130,14 @@ schedule random seed=7 maxsteps=100000
 thread tx { c.inc(0) }
 thread tx { c.inc(0) }
 thread tx { c.inc(0) }
+check explore
+"""
+
+COMMUT_SCENARIO = """# bench_compare commut scenario: distinct-key puts (E14).
+spec map name=map keys=2 vals=2
+engine boosting seed=42
+thread tx { a := map.put(0, 0) }; tx { b := map.put(0, 1) }
+thread tx { c := map.put(1, 0) }; tx { d := map.put(1, 1) }
 check explore
 """
 
@@ -253,6 +271,53 @@ def run_reduction_scenario(pprun):
     return out
 
 
+def run_commut_scenario(pprun):
+    """Run the distinct-key map scope under persistent+symmetry with and
+    without the certified commutativity table (--commut-db), plus the
+    whole-program prover (--static-prove) on the DB side; return config
+    counts, the table/certificate counters, the prove verdict, and the
+    config reduction ratio (full configs / DB configs)."""
+    with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".pp", delete=False) as tmp:
+        tmp.write(COMMUT_SCENARIO)
+        path = tmp.name
+    out = {}
+    try:
+        for flags, key in (([], "full"),
+                           (["--commut-db", "--static-prove"], "db")):
+            proc = subprocess.run(
+                [pprun, "--stats", "--reduction=persistent+symmetry"]
+                + flags + [path],
+                capture_output=True, text=True)
+            m = re.search(r"explore: (\d+) configs, (\d+) terminals, "
+                          r"(\d+) non-serializable", proc.stdout)
+            if proc.returncode != 0 or not m:
+                return {}
+            out[key + "_configs"] = int(m.group(1))
+            out[key + "_terminals"] = int(m.group(2))
+            out[key + "_non_serializable"] = int(m.group(3))
+            if key != "db":
+                continue
+            for stat, pat in (
+                    ("commut_hits", r"commut table:\s+(\d+) hits"),
+                    ("commut_misses", r"commut table:\s+\d+ hits / (\d+)"),
+                    ("cert_checks", r"cert checks:\s+(\d+)"),
+                    ("proved_programs", r"proved programs:\s+(\d+)"),
+                    ("oracle_skips", r"oracle skips:\s+(\d+)")):
+                sm = re.search(pat, proc.stdout)
+                if sm:
+                    out[stat] = int(sm.group(1))
+            pm = re.search(r"prove:\s+(\w+)", proc.stdout)
+            if pm:
+                out["prove_verdict"] = pm.group(1)
+    finally:
+        os.unlink(path)
+    if out.get("db_configs"):
+        out["config_reduction"] = round(
+            out["full_configs"] / out["db_configs"], 3)
+    return out
+
+
 def run_stats_scenario(pprun):
     """Run pprun --stats on the smoke scenario; parse the cache block."""
     with tempfile.NamedTemporaryFile(
@@ -304,7 +369,7 @@ def geomean(values):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_PR8.json")
+    ap.add_argument("--out", default="BENCH_PR10.json")
     ap.add_argument("--repeats", type=int, default=3)
     ap.add_argument("--fuzz-runs", type=int, default=300)
     ap.add_argument("--tolerance", type=float, default=0.10,
@@ -315,7 +380,8 @@ def main():
 
     result = {"repeats": args.repeats, "benchmarks": {}, "explorer": {},
               "explorer_e12": {}, "ppfuzz": {}, "ppstress": {},
-              "cache_stats": {}, "reduction": {}, "vs_pr3": {}}
+              "cache_stats": {}, "reduction": {}, "commut": {},
+              "vs_pr3": {}}
     measured_tracked = {}
 
     for bench, baselines in SEED_NS.items():
@@ -427,6 +493,10 @@ def main():
     if os.path.exists(pprun):
         result["cache_stats"] = run_stats_scenario(pprun)
         result["reduction"] = run_reduction_scenario(pprun)
+        result["commut"] = run_commut_scenario(pprun)
+        if "config_reduction" in result["commut"]:
+            measured_tracked["commut_config_reduction"] = \
+                result["commut"]["config_reduction"]
 
     # Headline vs-PR3 summary: geometric mean of the E12 reduction-scope
     # speedups plus the fuzzer's throughput gain.
@@ -506,6 +576,12 @@ def main():
         print(f"reduction: {red['reduced_configs']} of "
               f"{red['full_configs']} configs "
               f"({red['config_ratio']:.1%}) under persistent+symmetry")
+    if "config_reduction" in result["commut"]:
+        cm = result["commut"]
+        print(f"commut POR: {cm['db_configs']} of {cm['full_configs']} "
+              f"configs ({cm['config_reduction']:.2f}x reduction) with the "
+              f"certified table; prove={cm.get('prove_verdict', '?')}, "
+              f"oracle skips={cm.get('oracle_skips', 0)}")
     print(f"wrote {args.out}")
 
     if regressions:

@@ -16,6 +16,15 @@
 //                                     (prints the conviction witness)
 //   ppcheck --lint PATH...            semantic lint of .pp scenario files
 //                                     (directories are searched for *.pp)
+//   ppcheck --movers                  certified mover/commutativity table
+//                                     for the audit specs (Lipton classes,
+//                                     argument predicates, certificates)
+//   ppcheck --prove PATH...           whole-program conflict-serializability
+//                                     prover over .pp scenario files: PROVED
+//                                     (with certified pair count), CONFLICT
+//                                     (with the minimal conflicting pair and
+//                                     its counterexample witness), or
+//                                     UNPROVED (out of scope)
 //   ppcheck --list-criteria           print the injectable criterion names
 //
 // Scope knobs (audits): --threads N --max-local N --max-local-other N
@@ -30,6 +39,7 @@
 
 #include "analysis/IndependenceAudit.h"
 #include "analysis/Lint.h"
+#include "analysis/MoverTable.h"
 #include "analysis/Obligations.h"
 #include "sim/Scenario.h"
 #include "spec/CounterSpec.h"
@@ -39,8 +49,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -232,7 +244,7 @@ int runIndependence(const Options &Opt) {
   return Bad ? 1 : 0;
 }
 
-int runLint(const std::vector<std::string> &Paths) {
+std::vector<std::string> collectPpFiles(const std::vector<std::string> &Paths) {
   namespace fs = std::filesystem;
   std::vector<std::string> Files;
   for (const std::string &P : Paths) {
@@ -246,6 +258,11 @@ int runLint(const std::vector<std::string> &Paths) {
     }
   }
   std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+int runLint(const std::vector<std::string> &Paths) {
+  std::vector<std::string> Files = collectPpFiles(Paths);
   size_t Errors = 0, Warnings = 0;
   for (const std::string &F : Files) {
     LintReport R = lintScenarioFile(F);
@@ -258,12 +275,79 @@ int runLint(const std::vector<std::string> &Paths) {
   return (Errors || Warnings) ? 1 : 0;
 }
 
+int runMovers(const Options &Opt) {
+  // Informational: render the certified table; FAIL only if a certificate
+  // fails its independent re-verification (certChecks counts replays, and
+  // every Strong verdict survived one by construction — so a FAIL here
+  // means the analysis and its checker disagree, which build() resolves
+  // toward the checker).
+  for (const SpecCase &SC : specLadder(Opt.SpecOnly)) {
+    MoverChecker Movers(*SC.Spec);
+    MoverTable T = MoverTable::build(*SC.Spec, Movers);
+    std::printf("movers    %-32s %-8s %s", SC.Spec->name().c_str(),
+                SC.Kind.c_str(), T.familyExact() ? "PASS\n" : "PART\n");
+    std::printf("%s", T.toString().c_str());
+  }
+  return 0;
+}
+
+int runProve(const std::vector<std::string> &Paths, bool Witnesses) {
+  std::vector<std::string> Files = collectPpFiles(Paths);
+  int Rc = 0;
+  size_t Proved = 0, Conflicts = 0, Unproved = 0;
+  uint64_t CertChecks = 0;
+  for (const std::string &F : Files) {
+    std::ifstream In(F);
+    if (!In) {
+      std::fprintf(stderr, "ppcheck: cannot open '%s'\n", F.c_str());
+      Rc = 1;
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    ScenarioParseResult PR = parseScenario(Buf.str());
+    if (!PR.ok()) {
+      std::fprintf(stderr, "%s:%zu: error: %s\n", F.c_str(), PR.ErrorLine,
+                   PR.Error.c_str());
+      Rc = 1;
+      continue;
+    }
+    const Scenario &S = *PR.Parsed;
+    CommutativityDB DB(*S.Spec, S.Movers.MaxReachableSets);
+    ProveResult R = proveSerializable(S, DB);
+    CertChecks += DB.certChecks();
+    switch (R.V) {
+    case ProveResult::Verdict::Proved:
+      ++Proved;
+      break;
+    case ProveResult::Verdict::Conflict:
+      ++Conflicts;
+      break;
+    case ProveResult::Verdict::Unproved:
+      ++Unproved;
+      break;
+    }
+    std::printf("prove     %-32s %-8s %-9s pairs=%zu\n",
+                std::filesystem::path(F).filename().string().c_str(),
+                S.Engine.c_str(), toString(R.V).c_str(), R.PairsChecked);
+    if (R.V != ProveResult::Verdict::Proved || Witnesses)
+      std::printf("  %s\n", R.Detail.c_str());
+  }
+  std::printf("prove: %zu file(s), %zu proved, %zu conflict(s), %zu "
+              "unproved, cert-checks=%llu\n",
+              Files.size(), Proved, Conflicts, Unproved,
+              static_cast<unsigned long long>(CertChecks));
+  // All three verdicts are analysis results, not findings: only I/O and
+  // parse errors fail the run.
+  return Rc;
+}
+
 void usage() {
   std::fprintf(
       stderr,
       "usage: ppcheck [--all-engines | --engine NAME | --battery |\n"
       "                --independence | --inject NAME | --lint PATH... |\n"
-      "                --list-criteria]\n"
+      "                --movers | --prove PATH... | --list-criteria]\n"
       "               [--threads N] [--max-local N] [--max-local-other N]\n"
       "               [--max-global N] [--max-alphabet N] [--max-shapes N]\n"
       "               [--spec register|counter] [--witnesses]\n");
@@ -275,8 +359,8 @@ int main(int argc, char **argv) {
   Options Opt;
   bool AllEngines = false, Battery = false, Independence = false;
   std::string OnlyEngine, Inject;
-  std::vector<std::string> LintPaths;
-  bool Lint = false;
+  std::vector<std::string> LintPaths, ProvePaths;
+  bool Lint = false, Movers = false, Prove = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -307,6 +391,12 @@ int main(int argc, char **argv) {
       Lint = true;
       while (I + 1 < argc && argv[I + 1][0] != '-')
         LintPaths.push_back(argv[++I]);
+    } else if (A == "--movers") {
+      Movers = true;
+    } else if (A == "--prove") {
+      Prove = true;
+      while (I + 1 < argc && argv[I + 1][0] != '-')
+        ProvePaths.push_back(argv[++I]);
     } else if (A == "--list-criteria") {
       for (const std::string &N : injectableCriteria())
         std::printf("%s\n", N.c_str());
@@ -387,6 +477,18 @@ int main(int argc, char **argv) {
       return 2;
     }
     Rc = std::max(Rc, runLint(LintPaths));
+  }
+  if (Movers) {
+    Ran = true;
+    Rc = std::max(Rc, runMovers(Opt));
+  }
+  if (Prove) {
+    Ran = true;
+    if (ProvePaths.empty()) {
+      std::fprintf(stderr, "ppcheck: --prove needs at least one path\n");
+      return 2;
+    }
+    Rc = std::max(Rc, runProve(ProvePaths, Opt.Witnesses));
   }
   if (!Ran) {
     usage();

@@ -19,17 +19,29 @@
 //                                     persistent+symmetry (also =MODE form)
 //   pprun --max-pairs N ...           precongruence pair budget per query
 //   pprun --max-reachable N ...       reachable-state-set enumeration bound
+//   pprun --commut-db ...             enable the certified commutativity
+//                                     table for `check explore`: PUSH x PUSH
+//                                     independence refinement plus the
+//                                     G-order quotient key.  Refused when
+//                                     the program's calls do not all map
+//                                     into the spec's probe alphabet.
+//   pprun --static-prove ...          run the whole-program serializability
+//                                     prover first; when it returns PROVED,
+//                                     `check explore` skips the per-terminal
+//                                     serializability oracle replay
 //
 // Exit status 0 iff the run finished and every check passed.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/MoverTable.h"
 #include "sim/Scenario.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace pushpull;
@@ -53,6 +65,7 @@ int main(int argc, char **argv) {
   long Threads = -1, MaxPairs = -1, MaxReachable = -1;
   Reduction Reduce = Reduction::None;
   bool HaveReduce = false;
+  bool UseCommutDB = false, StaticProve = false;
   const char *Path = nullptr;
 
   auto ParseReduction = [&](const char *Mode) {
@@ -93,6 +106,14 @@ int main(int argc, char **argv) {
       ShowStats = true;
       continue;
     }
+    if (std::strcmp(argv[I], "--commut-db") == 0) {
+      UseCommutDB = true;
+      continue;
+    }
+    if (std::strcmp(argv[I], "--static-prove") == 0) {
+      StaticProve = true;
+      continue;
+    }
     if (std::strcmp(argv[I], "--reduction") == 0) {
       if (I + 1 >= argc) {
         std::fprintf(stderr, "error: --reduction needs a mode\n");
@@ -115,7 +136,9 @@ int main(int argc, char **argv) {
                  "usage: pprun [--trace] [--criteria] [--stats]\n"
                  "             [--threads N] [--reduction MODE]"
                  " [--max-pairs N]"
-                 " [--max-reachable N] <scenario-file>\n"
+                 " [--max-reachable N]\n"
+                 "             [--commut-db] [--static-prove]"
+                 " <scenario-file>\n"
                  "       pprun --example   (print a sample scenario)\n");
     return 2;
   }
@@ -148,7 +171,35 @@ int main(int argc, char **argv) {
   std::printf("engine:   %s\n", S.Engine.c_str());
   std::printf("threads:  %zu\n", S.Threads.size());
 
+  std::unique_ptr<CommutativityDB> DB;
+  if (UseCommutDB || StaticProve)
+    DB = std::make_unique<CommutativityDB>(*S.Spec,
+                                           S.Movers.MaxReachableSets);
+  if (UseCommutDB) {
+    std::string Why;
+    if (!DB->coversProgram(S.Threads, &Why)) {
+      // Not merely ineffective: the certificates only cover runs whose
+      // every operation is a probe instance, so enabling the quotient
+      // here would be unsound.
+      std::fprintf(stderr, "error: --commut-db: %s\n", Why.c_str());
+      return 2;
+    }
+    S.CommutDB = DB.get();
+  }
+  bool Proved = false;
+  if (StaticProve) {
+    ProveResult R = proveSerializable(S, *DB);
+    std::printf("prove:    %s (%s)\n", toString(R.V).c_str(),
+                R.Detail.c_str());
+    if (R.V == ProveResult::Verdict::Proved) {
+      Proved = true;
+      S.SkipOracleReplay = true;
+    }
+  }
+
   ScenarioOutcome O = runScenario(S);
+  if (Proved)
+    ++O.Caches.ProvedPrograms;
   std::printf("run:      %s\n", O.Stats.toString().c_str());
   if (ShowTrace)
     std::printf("\nrule trace:\n%s", O.Trace.c_str());
